@@ -1,0 +1,72 @@
+"""Ablation benches: what each RPPM mechanism buys (paper §I's three
+reasons naive extensions fail).
+
+Disables one mechanism at a time — coherence capture, the global
+interleaved reuse distribution, the synchronization replay — and
+measures the accuracy cost over a sharing/coherence/sync-sensitive
+subset of the suite.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    render_ablations,
+    run_ablations,
+    strip_coherence,
+    strip_global_reuse,
+)
+from repro.experiments.suites import BenchmarkRef
+
+#: Benchmarks whose behaviour exercises the ablated mechanisms.
+SENSITIVE = [
+    BenchmarkRef("parsec", "canneal"),        # coherence traffic
+    BenchmarkRef("parsec", "fluidanimate"),   # locks + shared rw
+    BenchmarkRef("parsec", "streamcluster"),  # shared read + barriers
+    BenchmarkRef("rodinia", "streamcluster"),  # shared read-only
+    BenchmarkRef("parsec", "bodytrack"),      # condvars + queues
+    BenchmarkRef("rodinia", "lud"),           # imbalanced barriers
+]
+
+
+@pytest.fixture(scope="module")
+def ablations(run_cache, base_config):
+    return run_ablations(SENSITIVE, config=base_config, cache=run_cache)
+
+
+def test_report_ablations(ablations, report):
+    report("Ablations: error with one mechanism disabled",
+           render_ablations(ablations))
+
+
+def test_full_model_is_best_on_average(ablations):
+    full = ablations.average_abs_error("full")
+    for name in ("no_global_reuse", "no_sync"):
+        assert ablations.average_abs_error(name) >= full - 0.01, name
+
+
+def test_sync_ablation_hurts_most(ablations):
+    """Synchronization modeling is RPPM's core contribution."""
+    assert ablations.degradation("no_sync") > 0.02
+
+
+def test_ablated_profiles_do_not_mutate_original(run_cache,
+                                                 base_config):
+    ref = SENSITIVE[0]
+    profile = run_cache.profile(ref)
+    before = run_cache.prediction(ref, base_config).total_cycles
+    strip_coherence(profile)
+    strip_global_reuse(profile)
+    from repro.core.rppm import predict
+    after = predict(profile, base_config).total_cycles
+    assert after == pytest.approx(before)
+
+
+def test_bench_ablation_sweep(benchmark, run_cache, base_config):
+    subset = SENSITIVE[:2]
+    result = benchmark.pedantic(
+        run_ablations,
+        kwargs=dict(benchmarks=subset, config=base_config,
+                    cache=run_cache),
+        rounds=2, iterations=1,
+    )
+    assert len(result.rows) == 2

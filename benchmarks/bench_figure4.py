@@ -1,0 +1,78 @@
+"""Figure 4: prediction error of MAIN, CRIT and RPPM vs simulation.
+
+Regenerates the paper's headline result over all 26 benchmarks
+(Rodinia + Parsec) on the base quad-core machine and asserts its
+shape: RPPM ~11% average error, clearly ahead of CRIT and MAIN.
+The timed benchmarks contrast RPPM's prediction cost against
+cycle-accounting simulation — the "rapid" in RPPM.
+"""
+
+import pytest
+
+from repro.core.rppm import predict
+from repro.experiments.accuracy import render_figure4, run_figure4
+from repro.experiments.suites import BenchmarkRef
+from repro.simulator.multicore import simulate
+
+
+@pytest.fixture(scope="module")
+def figure4(run_cache, base_config):
+    return run_figure4(cache=run_cache, config=base_config)
+
+
+def test_report_figure4(figure4, report):
+    report(
+        "Figure 4: prediction error (paper: MAIN 45%, CRIT 28%, "
+        "RPPM 11.2% avg / 23% max)",
+        render_figure4(figure4),
+    )
+
+
+def test_rppm_average_error(figure4):
+    assert figure4.average_abs_error("RPPM") < 0.16
+
+
+def test_rppm_beats_both_baselines(figure4):
+    summary = figure4.summary()
+    assert summary["RPPM"]["average"] < summary["CRIT"]["average"]
+    assert summary["CRIT"]["average"] < summary["MAIN"]["average"]
+
+
+def test_max_errors_ordered(figure4):
+    summary = figure4.summary()
+    assert summary["RPPM"]["max"] < summary["MAIN"]["max"]
+
+
+def test_bench_rppm_prediction(benchmark, run_cache, base_config):
+    """RPPM phase 1+2 from an existing profile (the per-config cost)."""
+    ref = BenchmarkRef("rodinia", "srad")
+    profile = run_cache.profile(ref)
+    result = benchmark(predict, profile, base_config)
+    assert result.total_cycles > 0
+
+
+def test_bench_reference_simulation(benchmark, run_cache, base_config):
+    """Golden-reference simulation of the same benchmark (the cost
+    RPPM avoids at every new design point)."""
+    ref = BenchmarkRef("rodinia", "srad")
+    trace = run_cache.trace(ref)
+    result = benchmark.pedantic(
+        simulate, args=(trace, base_config), rounds=3, iterations=1
+    )
+    assert result.total_cycles > 0
+
+
+def test_prediction_is_orders_of_magnitude_faster(run_cache,
+                                                  base_config):
+    """The paper's speed claim, asserted directly."""
+    import time
+    ref = BenchmarkRef("rodinia", "srad")
+    profile = run_cache.profile(ref)
+    trace = run_cache.trace(ref)
+    t0 = time.perf_counter()
+    predict(profile, base_config)
+    t_pred = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    simulate(trace, base_config)
+    t_sim = time.perf_counter() - t0
+    assert t_sim / t_pred > 3.0

@@ -1,0 +1,63 @@
+"""Figure 5: per-thread CPI stacks, RPPM vs simulation.
+
+Regenerates the paired normalized stacks for the full suite and checks
+the structural claims: simulated bars sum to one, predicted totals
+track the prediction error, and the error decomposition names a
+dominant component per benchmark (base/mem in the paper).
+"""
+
+import pytest
+
+from repro.core.cpi_stack import COMPONENTS
+from repro.experiments.cpi_stacks import render_figure5, run_figure5
+from repro.experiments.suites import BenchmarkRef
+
+
+@pytest.fixture(scope="module")
+def figure5(run_cache, base_config):
+    return run_figure5(cache=run_cache, config=base_config)
+
+
+def test_report_figure5(figure5, report):
+    report("Figure 5: CPI stacks normalized to simulation",
+           render_figure5(figure5))
+
+
+def test_simulated_bars_sum_to_one(figure5):
+    for pair in figure5.pairs:
+        assert pair.simulated_total == pytest.approx(1.0)
+
+
+def test_predicted_totals_near_one(figure5):
+    """Each predicted bar's total is 1 +/- that benchmark's error."""
+    for pair in figure5.pairs:
+        assert 0.6 < pair.predicted_total < 1.45, pair.benchmark
+
+
+def test_memory_benchmarks_show_memory_component(figure5):
+    for name in ("backprop", "nn"):
+        pair = figure5.pair(name)
+        assert pair.simulated["mem"] > 0.1
+        assert pair.predicted["mem"] > 0.1
+
+
+def test_sync_component_present_for_lock_heavy(figure5):
+    pair = figure5.pair("fluidanimate")
+    assert pair.simulated["sync"] > 0.1
+    assert pair.predicted["sync"] > 0.1
+
+
+def test_every_component_reported(figure5):
+    for pair in figure5.pairs:
+        assert set(pair.predicted) == set(COMPONENTS)
+        assert set(pair.simulated) == set(COMPONENTS)
+
+
+def test_bench_stack_extraction(benchmark, run_cache, base_config):
+    """Cost of producing one benchmark's paired stacks from the cache."""
+    from repro.experiments.cpi_stacks import run_stack_pair
+    ref = BenchmarkRef("rodinia", "cfd")
+    run_cache.prediction(ref, base_config)
+    run_cache.simulation(ref, base_config)
+    pair = benchmark(run_stack_pair, ref, base_config, run_cache)
+    assert pair.simulated_total == pytest.approx(1.0)

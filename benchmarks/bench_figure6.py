@@ -1,0 +1,63 @@
+"""Figure 6: bottlegraphs of the Parsec suite, RPPM vs simulation.
+
+Regenerates the paired bottlegraphs, checks that RPPM reproduces the
+simulated balance classes, and renders the ASCII equivalents of the
+paper's plots.  The timed benchmark measures bottlegraph construction
+from a timeline.
+"""
+
+import pytest
+
+from repro.core.bottlegraph import bottlegraph_from_timeline
+from repro.experiments.bottlegraphs import (
+    render_figure6,
+    run_figure6,
+)
+from repro.experiments.suites import BenchmarkRef
+
+
+@pytest.fixture(scope="module")
+def figure6(run_cache, base_config):
+    return run_figure6(cache=run_cache, config=base_config)
+
+
+def test_report_figure6(figure6, report):
+    report("Figure 6: bottlegraphs (RPPM vs simulation)",
+           render_figure6(figure6))
+
+
+def test_class_agreement_rate(figure6):
+    assert figure6.agreement_rate() >= 0.8
+
+
+def test_height_error_bounded(figure6):
+    for pair in figure6.pairs:
+        assert pair.height_error() < 0.2, pair.benchmark
+
+
+def test_balanced_benchmarks_run_wide(figure6):
+    for name in ("swaptions", "blackscholes", "raytrace"):
+        pair = figure6.pair(name)
+        worker_widths = pair.simulated.widths[1:]
+        assert max(worker_widths) > 3.0, name
+
+
+def test_freqmine_bottleneck_is_main(figure6):
+    pair = figure6.pair("freqmine")
+    assert pair.simulated.bottleneck_thread() == 0
+    assert pair.predicted.bottleneck_thread() == 0
+
+
+def test_imbalanced_benchmarks_capped(figure6):
+    for name in ("bodytrack", "streamcluster"):
+        pair = figure6.pair(name)
+        assert max(pair.simulated.widths[1:]) < 3.6, name
+
+
+def test_bench_bottlegraph_construction(benchmark, run_cache,
+                                        base_config):
+    timeline = run_cache.simulation(
+        BenchmarkRef("parsec", "streamcluster"), base_config
+    ).timeline
+    graph = benchmark(bottlegraph_from_timeline, timeline)
+    assert graph.total > 0

@@ -1,0 +1,65 @@
+"""Thread-scaling bench (extension; paper §III future-work direction).
+
+Strong-scaling speedup curves, predicted vs simulated, for a compute-
+bound and a memory-bound benchmark.  RPPM must reproduce the *shape*
+of the simulated curve (who scales, who saturates).
+"""
+
+import pytest
+
+from repro.experiments.scaling import render_scaling, run_scaling_curve
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return {
+        name: run_scaling_curve(name, scale=0.5)
+        for name in ("lavaMD", "streamcluster")
+    }
+
+
+def test_report_scaling(curves, report):
+    report(
+        "Extension: strong-scaling speedups (predicted vs simulated)",
+        "\n\n".join(render_scaling(c) for c in curves.values()),
+    )
+
+
+def test_compute_bound_scales(curves):
+    sim = curves["lavaMD"].simulated_speedups()
+    assert sim[4] > 1.6
+
+
+def test_speedups_monotone(curves):
+    for curve in curves.values():
+        for speedups in (curve.predicted_speedups(),
+                         curve.simulated_speedups()):
+            assert speedups[4] > speedups[1]
+
+
+def test_prediction_tracks_simulation(curves):
+    for name, curve in curves.items():
+        assert curve.max_speedup_error() < 0.3, name
+
+
+def test_prediction_ranks_scalability_correctly(curves):
+    """RPPM predicts *which* benchmark scales better — at this scale
+    streamcluster does (its shared read-only table turns the shared
+    LLC into positive interference), and the model must agree."""
+    sim_rank = sorted(
+        curves, key=lambda n: curves[n].simulated_speedups()[4]
+    )
+    pred_rank = sorted(
+        curves, key=lambda n: curves[n].predicted_speedups()[4]
+    )
+    assert sim_rank == pred_rank
+
+
+def test_bench_scaling_curve(benchmark):
+    curve = benchmark.pedantic(
+        run_scaling_curve,
+        kwargs=dict(benchmark="lavaMD", thread_counts=(1, 4),
+                    scale=0.3),
+        rounds=2, iterations=1,
+    )
+    assert len(curve.points) == 2

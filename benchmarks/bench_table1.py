@@ -1,0 +1,49 @@
+"""Table I: accumulating prediction errors in barrier-synchronized apps.
+
+Regenerates the paper's thread-count x error-bound grid and checks the
+paper's constants; the benchmark measures the Monte Carlo replication.
+"""
+
+import pytest
+
+from repro.experiments.accumulation import (
+    expected_epoch_bias,
+    render_table1,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(iterations=100_000)
+
+
+def test_report_table1(table1, report):
+    report("Table I: accumulating errors (paper: 0.33/3.00/8.83...)",
+           render_table1(table1))
+
+
+def test_matches_paper_row_by_row(table1):
+    paper = {
+        (2, 0.01): 0.0033, (4, 0.01): 0.0060, (8, 0.01): 0.0078,
+        (16, 0.01): 0.0088,
+        (2, 0.05): 0.0167, (4, 0.05): 0.0300, (8, 0.05): 0.0389,
+        (16, 0.05): 0.0441,
+        (2, 0.10): 0.0334, (4, 0.10): 0.0601, (8, 0.10): 0.0779,
+        (16, 0.10): 0.0883,
+    }
+    for (threads, bound), expected in paper.items():
+        got = table1.cell(threads, bound).overall_error
+        assert got == pytest.approx(expected, abs=0.003)
+
+
+def test_closed_form_agrees(table1):
+    for cell in table1.cells:
+        assert cell.overall_error == pytest.approx(
+            expected_epoch_bias(cell.threads, cell.bound), abs=0.004
+        )
+
+
+def test_bench_table1_monte_carlo(benchmark):
+    result = benchmark(run_table1, iterations=20_000)
+    assert result.cells

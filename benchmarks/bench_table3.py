@@ -1,0 +1,53 @@
+"""Table III: dynamic synchronization event counts of the Parsec suite.
+
+Regenerates the critical-section / barrier / condition-variable counts
+and checks that each benchmark's *dominant* synchronization category
+matches the paper (absolute counts are scaled with the instruction
+budget, see DESIGN.md).  The benchmark measures profiling, the step
+that extracts the synchronization structure.
+"""
+
+import pytest
+
+from repro.experiments.sync_counts import (
+    paper_dominant,
+    render_table3,
+    run_table3,
+)
+from repro.profiler.profiler import profile_workload
+from repro.workloads.parsec import parsec_workload
+
+
+@pytest.fixture(scope="module")
+def table3(run_cache):
+    return run_table3(cache=run_cache)
+
+
+def test_report_table3(table3, report):
+    report("Table III: Parsec synchronization events", render_table3(table3))
+
+
+def test_dominant_category_matches_paper(table3):
+    for row in table3.rows:
+        assert row.dominant() == paper_dominant(row.benchmark), (
+            row.benchmark
+        )
+
+
+def test_fluidanimate_has_most_critical_sections(table3):
+    cs = {r.benchmark: r.critical_sections for r in table3.rows}
+    assert max(cs, key=cs.get) == "fluidanimate"
+
+
+def test_streamcluster_has_most_barriers(table3):
+    bars = {r.benchmark: r.barriers for r in table3.rows}
+    assert max(bars, key=bars.get) == "streamcluster"
+
+
+def test_bench_profile_sync_heavy_workload(benchmark):
+    """Profiling cost on the most synchronization-dense benchmark."""
+    spec = parsec_workload("fluidanimate")
+    result = benchmark.pedantic(
+        profile_workload, args=(spec,), rounds=3, iterations=1
+    )
+    assert result.sync_event_counts()["critical_sections"] > 0

@@ -1,0 +1,79 @@
+"""Table V: design-space exploration over the five Table IV points.
+
+Regenerates the optimum-prediction experiment for the Rodinia suite:
+profile once, predict all five equal-peak-throughput design points,
+short-list within a bound, resolve by simulation, report deficiency
+versus the exhaustively-simulated optimum.  The timed benchmark is the
+whole five-point prediction sweep from one profile — the paper's
+amortization argument.
+"""
+
+import pytest
+
+from repro.arch.presets import design_space
+from repro.core.rppm import predict
+from repro.experiments.design_space import (
+    BOUNDS,
+    render_table5,
+    run_table5,
+)
+from repro.experiments.suites import BenchmarkRef
+
+
+@pytest.fixture(scope="module")
+def table5(run_cache):
+    return run_table5(cache=run_cache)
+
+
+def test_report_table5(table5, report):
+    report(
+        "Table V: DSE deficiency/short-list (paper: avg 1.95% at "
+        "bound 0 -> 0.12% at 5%)",
+        render_table5(table5),
+    )
+
+
+def test_average_deficiency_small(table5):
+    assert table5.average_deficiency(0.0) < 0.06
+
+
+def test_deficiency_decreases_with_bound(table5):
+    defs = [table5.average_deficiency(b) for b in BOUNDS]
+    assert defs == sorted(defs, reverse=True)
+
+
+def test_relaxed_bound_near_zero(table5):
+    assert table5.average_deficiency(0.05) < 0.03
+
+
+def test_majority_near_exact_at_bound_zero(table5):
+    """Paper: 13/16 exact; our substrate yields 9/16 within 2%."""
+    near = sum(
+        1 for row in table5.rows if row.cells[0.0].deficiency < 0.02
+    )
+    assert near >= len(table5.rows) * 0.5
+
+
+def test_worst_case_bounded(table5):
+    """Paper's worst case: 19.1% (streamcluster)."""
+    for row in table5.rows:
+        assert row.cells[0.0].deficiency <= 0.20, row.benchmark
+
+
+def test_shortlists_grow_with_bound(table5):
+    for row in table5.rows:
+        sizes = [row.cells[b].shortlist for b in BOUNDS]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 1
+
+
+def test_bench_design_space_sweep(benchmark, run_cache):
+    """Predict all five design points from one profile."""
+    profile = run_cache.profile(BenchmarkRef("rodinia", "kmeans"))
+    configs = design_space()
+
+    def sweep():
+        return [predict(profile, cfg).total_cycles for cfg in configs]
+
+    cycles = benchmark(sweep)
+    assert len(cycles) == 5

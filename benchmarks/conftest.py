@@ -1,0 +1,46 @@
+"""Shared state for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures: the session-scoped cache below profiles and simulates each
+benchmark exactly once, the ``report`` fixture prints the rendered
+artifact at the end of the session (run with ``-s`` to see it), and
+``pytest-benchmark`` measures the *prediction* side — the thing the
+paper claims is rapid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.presets import table_iv_config
+from repro.experiments.suites import RunCache
+
+_REPORTS = []
+
+
+@pytest.fixture(scope="session")
+def run_cache():
+    return RunCache()
+
+
+@pytest.fixture(scope="session")
+def base_config():
+    return table_iv_config("base")
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect rendered tables; printed at the end of the session."""
+    def _add(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+    return _add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _REPORTS:
+        return
+    out = ["", "=" * 72, "PAPER ARTIFACT REPRODUCTIONS", "=" * 72]
+    for title, text in _REPORTS:
+        out.append(f"\n--- {title} ---")
+        out.append(text)
+    print("\n".join(out))

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Bottlegraph analysis of parallel (im)balance (paper §VI-B, Fig. 6).
+
+Builds bottlegraphs — per-thread criticality (height) x parallelism
+(width) boxes — for three Parsec benchmarks with very different
+balance personalities, from both the RPPM prediction and the reference
+simulation, and renders them side by side as ASCII art.
+
+Run:  python examples/bottlegraph_analysis.py
+"""
+
+from repro import bottlegraph_from_timeline, predict, profile_workload, simulate
+from repro.arch.presets import table_iv_config
+from repro.experiments.bottlegraphs import render_bottlegraph
+from repro.workloads.generator import expand
+from repro.workloads.parsec import BALANCE_CLASS, parsec_workload
+
+#: One representative per Figure 6 balance group.
+BENCHMARKS = ("swaptions", "freqmine", "streamcluster")
+
+
+def main() -> None:
+    config = table_iv_config("base")
+    for name in BENCHMARKS:
+        trace = expand(parsec_workload(name))
+        profile = profile_workload(trace)
+        pred_graph = bottlegraph_from_timeline(
+            predict(profile, config).timeline
+        )
+        sim_graph = bottlegraph_from_timeline(
+            simulate(trace, config).timeline
+        )
+        print("=" * 64)
+        print(f"{name}  (paper class: {BALANCE_CLASS[name]})")
+        print(render_bottlegraph(pred_graph, "RPPM prediction"))
+        print(render_bottlegraph(sim_graph, "simulation"))
+        bottleneck = sim_graph.bottleneck_thread()
+        share = sim_graph.normalized_heights()[bottleneck]
+        print(f"bottleneck: thread {bottleneck} "
+              f"({share:.0%} of execution time)")
+        if bottleneck == 0 and share > 0.3:
+            print("-> the main thread limits scalability "
+                  "(sequential work dominates)")
+        elif max(sim_graph.widths[1:]) < config.cores - 0.5:
+            print("-> worker parallelism is capped below the core "
+                  "count (main thread only coordinates)")
+        else:
+            print("-> well balanced: all threads run concurrently")
+    print("=" * 64)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Building and analyzing a custom workload with the builder API.
+
+Models a producer-consumer image pipeline: the main thread produces
+work items through a condition-variable queue; three workers consume
+them, each guarding a shared counter with a critical section.  The
+example shows the full API surface a downstream user needs:
+EpochSpec/MemPattern/BranchSpec, the WorkloadBuilder, profiling,
+prediction, simulation, and CPI-stack / idle-time analysis.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import predict, profile_workload, simulate
+from repro.arch.presets import table_iv_config
+from repro.workloads import kernels as k
+from repro.workloads.builder import WorkloadBuilder
+from repro.workloads.generator import expand
+from repro.workloads.spec import BranchSpec, EpochSpec
+
+
+def build_pipeline(items_per_worker: int = 8) -> "WorkloadSpec":
+    b = WorkloadBuilder("example.pipeline", n_threads=4, seed=2024)
+
+    # The main thread decodes item headers: light integer work.
+    produce = EpochSpec(
+        n=300, mix=dict(k.INT_CONTROL),
+        mem=(k.working_set(256, hot_lines=256, hot_frac=1.0, region=9),),
+        branch=k.BR_MEDIUM, code_lines=24, code_region=9,
+    )
+    # Workers filter an image tile: FP streaming with easy branches.
+    consume = EpochSpec(
+        n=6_000, mix=dict(k.FP_COMPUTE),
+        mem=(k.stream(12_000, region=0, reuse=10),
+             k.shared_read(2_000, region=1, weight=0.4)),
+        branch=BranchSpec(kind="loop", period=16), mean_dep=4.0,
+        code_lines=96, code_region=1,
+    )
+    # A tiny critical section updates shared progress counters.
+    update = EpochSpec(
+        n=60, mix=dict(k.GENERIC),
+        mem=(k.shared_rw(16, region=2, hot_frac=1.0),),
+        branch=k.BR_BIASED, code_lines=8, code_region=2,
+    )
+
+    b.spawn_workers(EpochSpec(
+        n=2_000, mix=dict(k.GENERIC),
+        mem=(k.stream(2_000, region=8, reuse=10),),
+        code_lines=32, code_region=8,
+    ))
+    queue = b.new_id()
+    n_items = items_per_worker * len(b.workers)
+    for i in range(n_items):
+        b.produce(b.main, produce, queue, label=f"item{i}")
+    for tid in b.workers:
+        for i in range(items_per_worker):
+            b.consume(tid, None if i == 0 else consume, queue)
+            b.critical_loop([tid], 1, consume.scaled(0.02), update,
+                            label="progress")
+        b.compute(tid, consume, label="drain")
+    return b.join_all()
+
+
+def main() -> None:
+    spec = build_pipeline()
+    trace = expand(spec)
+    print(f"built {trace.name}: {trace.n_instructions:,} micro-ops, "
+          f"{trace.n_threads} threads")
+
+    profile = profile_workload(trace)
+    counts = profile.sync_event_counts()
+    print(f"synchronization: {counts['critical_sections']} critical "
+          f"sections, {counts['condition_variables']} condvar events")
+
+    config = table_iv_config("base")
+    pred = predict(profile, config)
+    sim = simulate(trace, config)
+    print(f"\npredicted: {pred.total_cycles:,.0f} cycles  "
+          f"simulated: {sim.total_cycles:,.0f} cycles  "
+          f"error {pred.total_cycles / sim.total_cycles - 1:+.1%}")
+
+    print("\nper-thread breakdown (predicted):")
+    for t in pred.threads:
+        idle_causes = pred.timeline.idle_by_cause(t.thread_id)
+        causes = ", ".join(
+            f"{cause} {cycles:,.0f}" for cause, cycles in
+            sorted(idle_causes.items())
+        ) or "none"
+        print(f"  thread {t.thread_id}: active {t.active_cycles:,.0f}, "
+              f"idle by cause: {causes}")
+
+    stack = pred.average_stack()
+    print("\naverage CPI stack:",
+          {name: round(v, 3) for name, v in stack.cpi().items()})
+    print("consumer threads wait on the producer early on; the "
+          "critical section stays uncontended — exactly what the "
+          "idle-by-cause breakdown shows.")
+
+
+if __name__ == "__main__":
+    main()

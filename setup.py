@@ -1,0 +1,7 @@
+"""Legacy setup shim: the sandboxed environment lacks the `wheel`
+package, so PEP-517 editable installs fail; this enables
+``pip install -e . --no-build-isolation --no-use-pep517``."""
+
+from setuptools import setup
+
+setup()

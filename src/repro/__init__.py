@@ -1,0 +1,36 @@
+"""RPPM: Rapid Performance Prediction of Multithreaded Workloads.
+
+Reproduction of De Pestel et al., ISPASS 2019.  Typical use::
+
+    from repro import arch, profile_workload, predict, simulate
+    from repro.workloads import rodinia_workload
+
+    spec = rodinia_workload("hotspot", threads=4)
+    profile = profile_workload(spec)          # one-time cost
+    prediction = predict(profile, arch.BASE)  # any configuration
+    golden = simulate(spec, arch.BASE)        # reference simulator
+"""
+
+from repro import arch
+from repro.core.baselines import predict_crit, predict_main
+from repro.core.bottlegraph import Bottlegraph, bottlegraph_from_timeline
+from repro.core.cpi_stack import CPIStack
+from repro.core.rppm import PredictionResult, predict
+from repro.profiler.profiler import profile_workload
+from repro.simulator.multicore import simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "arch",
+    "Bottlegraph",
+    "bottlegraph_from_timeline",
+    "CPIStack",
+    "PredictionResult",
+    "predict",
+    "predict_crit",
+    "predict_main",
+    "profile_workload",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Machine descriptions for RPPM.
+
+This package defines the target-architecture vocabulary shared by the
+analytical model (:mod:`repro.core`) and the reference simulator
+(:mod:`repro.simulator`): core pipeline parameters, cache hierarchies,
+memory timing and full multicore configurations, plus the five design
+points of Table IV in the paper.
+"""
+
+from repro.arch.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    MulticoreConfig,
+)
+from repro.arch.presets import (
+    BASE,
+    BIG,
+    BIGGEST,
+    SMALL,
+    SMALLEST,
+    TABLE_IV,
+    design_space,
+    table_iv_config,
+)
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "MemoryConfig",
+    "MulticoreConfig",
+    "BASE",
+    "BIG",
+    "BIGGEST",
+    "SMALL",
+    "SMALLEST",
+    "TABLE_IV",
+    "design_space",
+    "table_iv_config",
+]

@@ -1,0 +1,104 @@
+"""The simulated architecture configurations of Table IV.
+
+Five design points with constant peak throughput (dispatch width x clock
+= 10 G ops/s): smallest (2-wide @ 5 GHz) ... biggest (6-wide @ 1.66 GHz).
+ROB and issue-queue resources scale with width exactly as in the paper.
+The cache hierarchy and branch predictor are identical for all points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arch.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    MulticoreConfig,
+)
+
+#: Per-design-point core parameters, exactly the rows of Table IV.
+_TABLE_IV_CORES: Dict[str, Dict[str, float]] = {
+    "smallest": {"frequency_ghz": 5.00, "dispatch_width": 2, "rob_size": 32,
+                 "issue_queue_size": 16},
+    "small": {"frequency_ghz": 3.33, "dispatch_width": 3, "rob_size": 72,
+              "issue_queue_size": 36},
+    "base": {"frequency_ghz": 2.50, "dispatch_width": 4, "rob_size": 128,
+             "issue_queue_size": 64},
+    "big": {"frequency_ghz": 2.00, "dispatch_width": 5, "rob_size": 200,
+            "issue_queue_size": 100},
+    "biggest": {"frequency_ghz": 1.66, "dispatch_width": 6, "rob_size": 288,
+                "issue_queue_size": 144},
+}
+
+#: Names of the five design points, narrowest first.
+TABLE_IV: List[str] = list(_TABLE_IV_CORES)
+
+
+def _ports_for_width(width: int) -> Dict[str, int]:
+    """Scale issue ports with pipeline width.
+
+    The base 4-wide machine has the default port mix; narrower and wider
+    machines scale the throughput-critical ports so that no port class
+    becomes an artificial bottleneck relative to the paper's premise that
+    all five design points deliver the same peak operations per second.
+    """
+    return {
+        "ialu": max(1, width),
+        "imul": 1 if width <= 4 else 2,
+        "fp": max(1, width // 2),
+        "load": max(1, width // 2),
+        "store": 1 if width <= 4 else 2,
+        "branch": 1 if width <= 4 else 2,
+    }
+
+
+def table_iv_config(point: str, cores: int = 4) -> MulticoreConfig:
+    """Build the Table IV design point named ``point``.
+
+    Parameters
+    ----------
+    point:
+        One of ``smallest``, ``small``, ``base``, ``big``, ``biggest``.
+    cores:
+        Number of cores; the paper uses 4.
+    """
+    try:
+        params = _TABLE_IV_CORES[point]
+    except KeyError:
+        raise ValueError(
+            f"unknown design point {point!r}; expected one of {TABLE_IV}"
+        ) from None
+    width = int(params["dispatch_width"])
+    core = CoreConfig(
+        frequency_ghz=float(params["frequency_ghz"]),
+        dispatch_width=width,
+        rob_size=int(params["rob_size"]),
+        issue_queue_size=int(params["issue_queue_size"]),
+        ports=_ports_for_width(width),
+    )
+    return MulticoreConfig(
+        name=point,
+        cores=cores,
+        core=core,
+        l1i=CacheConfig(size_bytes=32 * 1024, associativity=4, latency=1),
+        l1d=CacheConfig(size_bytes=32 * 1024, associativity=4, latency=3),
+        l2=CacheConfig(size_bytes=256 * 1024, associativity=8, latency=10),
+        llc=CacheConfig(size_bytes=8 * 1024 * 1024, associativity=16,
+                        latency=30, shared=True),
+        memory=MemoryConfig(),
+        branch_predictor=BranchPredictorConfig(size_bytes=4096),
+    )
+
+
+def design_space(cores: int = 4) -> List[MulticoreConfig]:
+    """All five Table IV design points, narrowest first."""
+    return [table_iv_config(point, cores=cores) for point in TABLE_IV]
+
+
+SMALLEST = table_iv_config("smallest")
+SMALL = table_iv_config("small")
+BASE = table_iv_config("base")
+BIG = table_iv_config("big")
+BIGGEST = table_iv_config("biggest")

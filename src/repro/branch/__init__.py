@@ -1,0 +1,14 @@
+"""Branch prediction: entropy-based analytical model + real predictor.
+
+:mod:`repro.branch.entropy_model` maps the profiler's
+microarchitecture-independent entropy floors to a concrete predictor
+configuration's miss rate (De Pestel et al. [10]); it is what Eq. 1's
+``m_bpred`` uses.  :mod:`repro.branch.predictors` is a real tournament
+predictor with tables and counters, used by the reference simulator —
+the two disagree exactly the way the paper's model and Sniper disagree.
+"""
+
+from repro.branch.entropy_model import predict_miss_rate
+from repro.branch.predictors import TournamentPredictor
+
+__all__ = ["predict_miss_rate", "TournamentPredictor"]

@@ -1,0 +1,79 @@
+"""Entropy-based branch misprediction prediction (De Pestel et al. [10]).
+
+The profile records, per pool, the achievable misprediction rate of an
+ideal (PC, history) majority predictor at several history depths (see
+:mod:`repro.profiler.branchprof`: the max of the in-sample entropy
+floor and a cross-validated estimate that charges training and
+generalization costs).  A concrete tournament predictor is modeled in
+three steps:
+
+1. **Information**: the predictor chooses per branch between a per-PC
+   bimodal component (history depth 0) and a global-history component
+   (depth = its history bits); an ideal chooser achieves
+   ``min(floor(0), floor(h))``.  Real choosers are imperfect: we blend
+   a small fraction of the worse component in.
+2. **Hysteresis**: two-bit saturating counters lose a little accuracy
+   relative to a majority oracle on alternating contexts; a small
+   multiplicative penalty accounts for it.
+3. **Aliasing**: with ``E`` two-bit-counter entries per table and ``C``
+   learnable contexts, contexts colliding in the table mispredict at
+   chance-level rates.  We model the collision probability with the
+   standard balls-in-bins estimate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.config import BranchPredictorConfig
+from repro.profiler.profile import BranchStats
+
+#: Fraction of dynamic branches for which the real (non-ideal) chooser
+#: picks the worse component.
+_CHOOSER_LOSS = 0.08
+#: Multiplicative accuracy loss of two-bit counters vs a majority oracle.
+_HYSTERESIS = 1.10
+#: Miss probability of a context that lost its table entry to aliasing.
+_ALIAS_MISS = 0.35
+
+
+def _collision_fraction(contexts: float, entries: int) -> float:
+    """Probability that a context shares a table entry with another.
+
+    Balls-in-bins: with ``C`` contexts hashed into ``E`` entries, the
+    expected fraction of contexts that do *not* own a private entry is
+    ``1 - (E/C) * (1 - (1 - 1/E)^C)`` — approximated with the
+    exponential form for numerical stability.
+    """
+    if contexts <= 1 or entries <= 0:
+        return 0.0
+    occupied = entries * (1.0 - math.exp(-contexts / entries))
+    return max(0.0, 1.0 - occupied / contexts)
+
+
+def predict_miss_rate(
+    stats: BranchStats, config: BranchPredictorConfig
+) -> float:
+    """Predicted misprediction rate of ``config`` on a pool's branches."""
+    if stats.n_branches == 0:
+        return 0.0
+    entries = config.entries_per_table
+    depth = float(config.history_bits)
+
+    floor_bimodal = stats.floor_at(0.0)
+    floor_gshare = stats.floor_at(depth)
+    ideal = min(floor_bimodal, floor_gshare)
+    worse = max(floor_bimodal, floor_gshare)
+    informed = (ideal + _CHOOSER_LOSS * (worse - ideal)) * _HYSTERESIS
+
+    # Aliasing: the tournament needs one counter per learnable context
+    # in whichever component it relies on; the cheaper component bounds
+    # the pressure.
+    ctx_gshare = stats.contexts_at(depth)
+    ctx_bimodal = float(stats.n_static)
+    collide = min(
+        _collision_fraction(ctx_gshare, entries),
+        _collision_fraction(ctx_bimodal, entries),
+    )
+    aliased = informed + collide * max(0.0, _ALIAS_MISS - informed)
+    return float(min(aliased, 0.5))

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow (Fig. 1):
+
+* ``profile``  — profile a named benchmark once, write the JSON profile.
+* ``predict``  — predict a profile (or benchmark) on a design point.
+* ``simulate`` — run the golden-reference simulator.
+* ``compare``  — predict *and* simulate, report the error and stacks.
+* ``report``   — regenerate a paper artifact (table1/table3/figure4/
+  figure5/table5/figure6/ablations) and print it.
+* ``list``     — list benchmarks and design points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.arch.presets import TABLE_IV, table_iv_config
+from repro.core.rppm import predict
+from repro.profiler.profile import WorkloadProfile
+from repro.profiler.profiler import profile_workload
+from repro.simulator.multicore import simulate
+from repro.workloads.generator import expand
+from repro.workloads.parsec import PARSEC, parsec_workload
+from repro.workloads.rodinia import RODINIA, rodinia_workload
+
+
+def _build_workload(name: str, scale: float):
+    """Resolve ``suite.benchmark`` (or bare benchmark) to a spec."""
+    if "." in name:
+        suite, bench = name.split(".", 1)
+    elif name in RODINIA:
+        suite, bench = "rodinia", name
+    elif name in PARSEC:
+        suite, bench = "parsec", name
+    else:
+        raise SystemExit(
+            f"unknown benchmark {name!r}; see `python -m repro list`"
+        )
+    if suite == "rodinia":
+        return rodinia_workload(bench, scale=scale)
+    if suite == "parsec":
+        return parsec_workload(bench, scale=scale)
+    raise SystemExit(f"unknown suite {suite!r}")
+
+
+def _load_profile(args) -> WorkloadProfile:
+    if args.profile_json:
+        with open(args.profile_json) as fh:
+            return WorkloadProfile.from_dict(json.load(fh))
+    spec = _build_workload(args.benchmark, args.scale)
+    return profile_workload(spec)
+
+
+def _stack_line(stack) -> str:
+    return "  ".join(
+        f"{name}={value:.3f}" for name, value in stack.cpi().items()
+    )
+
+
+def cmd_list(args) -> int:
+    print("rodinia:", " ".join(sorted(RODINIA)))
+    print("parsec:", " ".join(PARSEC))
+    print("design points:", " ".join(TABLE_IV))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    spec = _build_workload(args.benchmark, args.scale)
+    t0 = time.perf_counter()
+    profile = profile_workload(spec)
+    dt = time.perf_counter() - t0
+    payload = profile.to_dict()
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh)
+        print(f"wrote {args.output} ({dt:.2f}s, "
+              f"{profile.n_instructions:,} micro-ops)")
+    else:
+        json.dump(payload, sys.stdout)
+    return 0
+
+
+def cmd_predict(args) -> int:
+    profile = _load_profile(args)
+    config = table_iv_config(args.config, cores=args.cores)
+    result = predict(profile, config)
+    seconds = config.cycles_to_seconds(result.total_cycles)
+    print(f"{profile.name} on {config.name}: "
+          f"{result.total_cycles:,.0f} cycles "
+          f"({seconds * 1e6:.1f} us @ {config.core.frequency_ghz} GHz)")
+    for t in result.threads:
+        print(f"  thread {t.thread_id}: active {t.active_cycles:,.0f} "
+              f"idle {t.idle_cycles:,.0f}")
+    print("  CPI stack:", _stack_line(result.average_stack()))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    spec = _build_workload(args.benchmark, args.scale)
+    config = table_iv_config(args.config, cores=args.cores)
+    result = simulate(expand(spec), config)
+    seconds = config.cycles_to_seconds(result.total_cycles)
+    print(f"{result.workload} on {config.name}: "
+          f"{result.total_cycles:,.0f} cycles "
+          f"({seconds * 1e6:.1f} us), "
+          f"{result.invalidations} invalidations")
+    print("  CPI stack:", _stack_line(result.average_stack()))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    spec = _build_workload(args.benchmark, args.scale)
+    trace = expand(spec)
+    profile = profile_workload(trace)
+    config = table_iv_config(args.config, cores=args.cores)
+    pred = predict(profile, config)
+    sim = simulate(trace, config)
+    err = pred.total_cycles / sim.total_cycles - 1.0
+    print(f"{trace.name} on {config.name}:")
+    print(f"  RPPM     : {pred.total_cycles:,.0f} cycles")
+    print(f"  simulated: {sim.total_cycles:,.0f} cycles")
+    print(f"  error    : {err:+.1%}")
+    print("  RPPM stack:", _stack_line(pred.average_stack()))
+    print("  sim  stack:", _stack_line(sim.average_stack()))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.suites import RunCache
+    cache = RunCache(scale=args.scale)
+    artifact = args.artifact
+    if artifact == "table1":
+        from repro.experiments.accumulation import (
+            render_table1, run_table1,
+        )
+        print(render_table1(run_table1()))
+    elif artifact == "table3":
+        from repro.experiments.sync_counts import (
+            render_table3, run_table3,
+        )
+        print(render_table3(run_table3(cache=cache)))
+    elif artifact == "figure4":
+        from repro.experiments.accuracy import (
+            render_figure4, run_figure4,
+        )
+        print(render_figure4(run_figure4(cache=cache)))
+    elif artifact == "figure5":
+        from repro.experiments.cpi_stacks import (
+            render_figure5, run_figure5,
+        )
+        print(render_figure5(run_figure5(cache=cache)))
+    elif artifact == "table5":
+        from repro.experiments.design_space import (
+            render_table5, run_table5,
+        )
+        print(render_table5(run_table5(cache=cache)))
+    elif artifact == "figure6":
+        from repro.experiments.bottlegraphs import (
+            render_figure6, run_figure6,
+        )
+        print(render_figure6(run_figure6(cache=cache)))
+    elif artifact == "ablations":
+        from repro.experiments.ablations import (
+            render_ablations, run_ablations,
+        )
+        print(render_ablations(run_ablations(cache=cache)))
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown artifact {artifact!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RPPM reproduction toolchain (ISPASS 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and design points")
+
+    def add_common(p, benchmark=True):
+        if benchmark:
+            p.add_argument("benchmark",
+                           help="benchmark, e.g. rodinia.hotspot")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="workload scale factor (default 1.0)")
+        p.add_argument("--config", choices=TABLE_IV, default="base",
+                       help="Table IV design point (default: base)")
+        p.add_argument("--cores", type=int, default=4,
+                       help="core count (default 4)")
+
+    p = sub.add_parser("profile", help="profile a benchmark to JSON")
+    p.add_argument("benchmark")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-o", "--output", help="output file (default stdout)")
+
+    p = sub.add_parser("predict", help="predict from a profile")
+    p.add_argument("benchmark", nargs="?", default=None)
+    p.add_argument("--profile-json",
+                   help="use a stored profile instead of re-profiling")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--config", choices=TABLE_IV, default="base")
+    p.add_argument("--cores", type=int, default=4)
+
+    p = sub.add_parser("simulate", help="run the reference simulator")
+    add_common(p)
+
+    p = sub.add_parser("compare", help="predict and simulate")
+    add_common(p)
+
+    p = sub.add_parser("report", help="regenerate a paper artifact")
+    p.add_argument("artifact", choices=[
+        "table1", "table3", "figure4", "figure5", "table5", "figure6",
+        "ablations",
+    ])
+    p.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "predict" and not (
+        args.benchmark or args.profile_json
+    ):
+        raise SystemExit("predict needs a benchmark or --profile-json")
+    handlers = {
+        "list": cmd_list,
+        "profile": cmd_profile,
+        "predict": cmd_predict,
+        "simulate": cmd_simulate,
+        "compare": cmd_compare,
+        "report": cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

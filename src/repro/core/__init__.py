@@ -1,0 +1,31 @@
+"""RPPM: the mechanistic multithreaded performance model (paper §III).
+
+Public entry points:
+
+* :func:`repro.core.rppm.predict` — Profile x Config -> prediction
+  (total time, per-thread CPI stacks, execution timeline).
+* :mod:`repro.core.baselines` — the naive MAIN and CRIT predictors the
+  paper compares against.
+* :mod:`repro.core.bottlegraph` — bottlegraph construction [13] from
+  predicted or simulated timelines.
+"""
+
+from repro.core.cpi_stack import CPIStack
+from repro.core.equation import EpochCosts, evaluate_equation
+from repro.core.epoch_model import predict_epoch_cycles
+from repro.core.rppm import PredictionResult, predict
+from repro.core.baselines import predict_crit, predict_main
+from repro.core.bottlegraph import Bottlegraph, bottlegraph_from_timeline
+
+__all__ = [
+    "CPIStack",
+    "EpochCosts",
+    "evaluate_equation",
+    "predict_epoch_cycles",
+    "PredictionResult",
+    "predict",
+    "predict_crit",
+    "predict_main",
+    "Bottlegraph",
+    "bottlegraph_from_timeline",
+]

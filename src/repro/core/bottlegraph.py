@@ -1,0 +1,95 @@
+"""Bottlegraphs (Du Bois et al. [13]; paper §VI-B, Fig. 6).
+
+A bottlegraph draws one box per thread: height = the thread's share of
+total execution time (its *criticality*), width = the thread's average
+parallelism while it runs.  Shares split each instant of execution
+equally among the threads running at that instant, so heights sum to
+the total execution time; widths reveal whether a thread runs alone
+(sequential bottleneck, width 1) or alongside others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.runtime.timeline import Timeline
+
+
+@dataclass
+class Bottlegraph:
+    """Per-thread criticality/parallelism boxes of one execution."""
+
+    #: Criticality share per thread, in time units (heights).
+    heights: List[float]
+    #: Average parallelism while the thread runs (widths, harmonic mean).
+    widths: List[float]
+    #: Total execution time (= sum of heights).
+    total: float
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.heights)
+
+    def normalized_heights(self) -> List[float]:
+        """Heights as shares of total execution time (sum to 1)."""
+        if self.total <= 0:
+            return [0.0] * self.n_threads
+        return [h / self.total for h in self.heights]
+
+    def stacking_order(self) -> List[int]:
+        """Thread ids sorted widest box first (bottom of the stack)."""
+        return sorted(
+            range(self.n_threads), key=lambda t: -self.widths[t]
+        )
+
+    def bottleneck_thread(self) -> int:
+        """The thread with the tallest box (the scalability bottleneck)."""
+        return max(range(self.n_threads), key=lambda t: self.heights[t])
+
+
+def bottlegraph_from_timeline(timeline: Timeline) -> Bottlegraph:
+    """Build a bottlegraph from an execution timeline.
+
+    Works identically on simulated and predicted timelines, which is
+    how Fig. 6 pairs the two per benchmark.
+    """
+    n = timeline.n_threads
+    # Sweep all active-interval boundaries, maintaining the running set.
+    events: List[Tuple[float, int, int]] = []  # (time, +1/-1, tid)
+    for tid in range(n):
+        for iv in timeline.active[tid]:
+            events.append((iv.start, 1, tid))
+            events.append((iv.end, -1, tid))
+    if not events:
+        return Bottlegraph(
+            heights=[0.0] * n, widths=[0.0] * n, total=0.0
+        )
+    events.sort(key=lambda e: (e[0], e[1]))  # process ends before starts
+    shares = [0.0] * n
+    active_time = [0.0] * n
+    running = [0] * n  # interval nesting count per thread
+    active_set: set = set()
+    prev_time = events[0][0]
+    for time, delta, tid in events:
+        if time > prev_time and active_set:
+            dt = time - prev_time
+            k = len(active_set)
+            for t in active_set:
+                shares[t] += dt / k
+                active_time[t] += dt
+        prev_time = time
+        if delta > 0:
+            running[tid] += 1
+            active_set.add(tid)
+        else:
+            running[tid] -= 1
+            if running[tid] == 0:
+                active_set.discard(tid)
+    widths = [
+        (active_time[t] / shares[t]) if shares[t] > 0 else 0.0
+        for t in range(n)
+    ]
+    return Bottlegraph(
+        heights=shares, widths=widths, total=sum(shares)
+    )

@@ -1,0 +1,34 @@
+"""Reproduction experiments: one module per paper table/figure.
+
+Each experiment module exposes a ``run_*`` function returning plain
+dataclasses, so the same code backs the benchmark harness
+(``benchmarks/``), the examples and the tests:
+
+========================  ============================================
+Paper artifact            Module / entry point
+========================  ============================================
+Table I                   :func:`repro.experiments.accumulation.run_table1`
+Table III                 :func:`repro.experiments.sync_counts.run_table3`
+Figure 4                  :func:`repro.experiments.accuracy.run_figure4`
+Figure 5                  :func:`repro.experiments.cpi_stacks.run_figure5`
+Table V                   :func:`repro.experiments.design_space.run_table5`
+Figure 6                  :func:`repro.experiments.bottlegraphs.run_figure6`
+========================  ============================================
+"""
+
+from repro.experiments.accumulation import run_table1
+from repro.experiments.accuracy import WorkloadAccuracy, run_figure4
+from repro.experiments.bottlegraphs import run_figure6
+from repro.experiments.cpi_stacks import run_figure5
+from repro.experiments.design_space import run_table5
+from repro.experiments.sync_counts import run_table3
+
+__all__ = [
+    "WorkloadAccuracy",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_table1",
+    "run_table3",
+    "run_table5",
+]

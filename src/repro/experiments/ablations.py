@@ -1,0 +1,150 @@
+"""Ablation studies: disable one RPPM mechanism and measure the cost.
+
+The paper motivates RPPM with three ingredients missing from naive
+extensions: shared-resource interference, cache coherence, and
+synchronization (§I).  Each ablation here strips exactly one mechanism
+from the *profile* (never from the simulator — the golden reference
+stays fixed) and re-predicts:
+
+* ``without_coherence`` — drop write-invalidation records; private
+  reuse distances look unbroken, so coherence misses disappear from
+  the private L1/L2 miss rates.
+* ``without_global_reuse`` — predict the shared LLC from the private
+  (per-thread) reuse-distance distribution instead of the global
+  interleaved one; both positive interference (sharing) and negative
+  interference (competition) vanish.
+* ``without_sync`` — the CRIT baseline: per-thread active-time sums
+  with no symbolic synchronization replay.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.config import MulticoreConfig
+from repro.arch.presets import table_iv_config
+from repro.core.baselines import predict_crit
+from repro.core.rppm import predict
+from repro.experiments.suites import BenchmarkRef, RunCache, full_suite
+from repro.profiler.profile import WorkloadProfile
+
+#: Ablation names in report order.
+ABLATIONS = ("full", "no_coherence", "no_global_reuse", "no_sync")
+
+
+def strip_coherence(profile: WorkloadProfile) -> WorkloadProfile:
+    """A copy of ``profile`` with write-invalidation records removed.
+
+    The invalidated reuses are folded back into the finite histogram at
+    the thread's mean reuse distance — as if the remote writes never
+    broke them.
+    """
+    out = copy.deepcopy(profile)
+    for thread in out.threads:
+        for pool in thread.pools.values():
+            private = pool.data.private
+            n_inval = private.inval
+            if n_inval:
+                private.add_many(
+                    __import__("numpy").full(
+                        n_inval, max(int(private.mean_finite()), 0)
+                    )
+                )
+                private.inval = 0
+    return out
+
+
+def strip_global_reuse(profile: WorkloadProfile) -> WorkloadProfile:
+    """A copy predicting the shared LLC from *private* distances.
+
+    The private distribution is rescaled by the thread count (a naive
+    interleaving guess that ignores actual sharing), which is what a
+    single-threaded model would have to do.
+    """
+    out = copy.deepcopy(profile)
+    scale = max(out.n_threads, 1)
+    for thread in out.threads:
+        for pool in thread.pools.values():
+            pool.data.shared = pool.data.private.scaled(scale)
+    return out
+
+
+@dataclass
+class AblationRow:
+    """Signed prediction error per ablation for one benchmark."""
+
+    benchmark: str
+    errors: Dict[str, float]
+
+
+@dataclass
+class AblationResult:
+    rows: List[AblationRow]
+
+    def average_abs_error(self, ablation: str) -> float:
+        return sum(
+            abs(r.errors[ablation]) for r in self.rows
+        ) / max(len(self.rows), 1)
+
+    def degradation(self, ablation: str) -> float:
+        """Average error increase over the full model."""
+        return self.average_abs_error(ablation) - self.average_abs_error(
+            "full"
+        )
+
+
+def run_ablations(
+    benchmarks: Optional[Sequence[BenchmarkRef]] = None,
+    config: Optional[MulticoreConfig] = None,
+    cache: Optional[RunCache] = None,
+) -> AblationResult:
+    """Prediction error of each ablated model across the suite."""
+    benchmarks = list(benchmarks) if benchmarks else full_suite()
+    config = config or table_iv_config("base")
+    cache = cache or RunCache()
+    rows: List[AblationRow] = []
+    for ref in benchmarks:
+        profile = cache.profile(ref)
+        sim = cache.simulation(ref, config).total_cycles
+        variants = {
+            "full": cache.prediction(ref, config).total_cycles,
+            "no_coherence": predict(
+                strip_coherence(profile), config
+            ).total_cycles,
+            "no_global_reuse": predict(
+                strip_global_reuse(profile), config
+            ).total_cycles,
+            "no_sync": predict_crit(profile, config),
+        }
+        rows.append(
+            AblationRow(
+                benchmark=ref.label,
+                errors={
+                    name: cycles / sim - 1.0
+                    for name, cycles in variants.items()
+                },
+            )
+        )
+    return AblationResult(rows=rows)
+
+
+def render_ablations(result: AblationResult) -> str:
+    header = f"{'benchmark':>24s}  " + "  ".join(
+        f"{name:>15s}" for name in ABLATIONS
+    )
+    lines = [header, "-" * len(header)]
+    for row in result.rows:
+        lines.append(
+            f"{row.benchmark:>24s}  "
+            + "  ".join(f"{row.errors[a]:>+15.1%}" for a in ABLATIONS)
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'avg abs error':>24s}  "
+        + "  ".join(
+            f"{result.average_abs_error(a):>15.1%}" for a in ABLATIONS
+        )
+    )
+    return "\n".join(lines)

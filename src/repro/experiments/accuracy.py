@@ -1,0 +1,122 @@
+"""Figure 4: prediction error of MAIN, CRIT and RPPM vs simulation.
+
+For every benchmark the golden reference is the cycle-accounting
+multicore simulation; the three predictors run from the same one-time
+profile.  The paper reports per-benchmark signed errors and the
+suite-wide average/maximum absolute errors (MAIN 45%, CRIT 28%,
+RPPM 11.2% avg / 23% max).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.config import MulticoreConfig
+from repro.arch.presets import table_iv_config
+from repro.core.baselines import predict_crit, predict_main
+from repro.experiments.suites import BenchmarkRef, RunCache, full_suite
+
+#: Predictor names in Figure 4's legend order.
+APPROACHES = ("MAIN", "CRIT", "RPPM")
+
+
+@dataclass(frozen=True)
+class WorkloadAccuracy:
+    """Signed relative error of each approach on one benchmark."""
+
+    benchmark: str
+    suite: str
+    simulated_cycles: float
+    predicted_cycles: Dict[str, float]
+
+    def error(self, approach: str) -> float:
+        """Signed relative error (positive = over-estimation)."""
+        return (
+            self.predicted_cycles[approach] / self.simulated_cycles - 1.0
+        )
+
+    def abs_error(self, approach: str) -> float:
+        return abs(self.error(approach))
+
+
+@dataclass
+class Figure4Result:
+    """Per-benchmark accuracy plus suite aggregates."""
+
+    rows: List[WorkloadAccuracy]
+    config: str
+
+    def average_abs_error(self, approach: str) -> float:
+        return float(
+            np.mean([r.abs_error(approach) for r in self.rows])
+        )
+
+    def max_abs_error(self, approach: str) -> float:
+        return float(max(r.abs_error(approach) for r in self.rows))
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            a: {
+                "average": self.average_abs_error(a),
+                "max": self.max_abs_error(a),
+            }
+            for a in APPROACHES
+        }
+
+
+def run_workload_accuracy(
+    ref: BenchmarkRef, config: MulticoreConfig, cache: RunCache
+) -> WorkloadAccuracy:
+    """Accuracy of all three approaches on one benchmark."""
+    profile = cache.profile(ref)
+    sim = cache.simulation(ref, config)
+    rppm = cache.prediction(ref, config)
+    return WorkloadAccuracy(
+        benchmark=ref.name,
+        suite=ref.suite,
+        simulated_cycles=sim.total_cycles,
+        predicted_cycles={
+            "MAIN": predict_main(profile, config),
+            "CRIT": predict_crit(profile, config),
+            "RPPM": rppm.total_cycles,
+        },
+    )
+
+
+def run_figure4(
+    benchmarks: Optional[Sequence[BenchmarkRef]] = None,
+    config: Optional[MulticoreConfig] = None,
+    cache: Optional[RunCache] = None,
+) -> Figure4Result:
+    """The full Figure 4 sweep on the base quad-core configuration."""
+    benchmarks = list(benchmarks) if benchmarks else full_suite()
+    config = config or table_iv_config("base")
+    cache = cache or RunCache()
+    rows = [
+        run_workload_accuracy(ref, config, cache) for ref in benchmarks
+    ]
+    return Figure4Result(rows=rows, config=config.name)
+
+
+def render_figure4(result: Figure4Result) -> str:
+    """Figure 4 as a printable per-benchmark error table."""
+    lines = [
+        f"Prediction error vs simulation ({result.config} config)",
+        f"{'benchmark':>22s}  {'MAIN':>8s}  {'CRIT':>8s}  {'RPPM':>8s}",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.suite + '.' + row.benchmark:>22s}  "
+            + "  ".join(f"{row.error(a):>+8.1%}" for a in APPROACHES)
+        )
+    lines.append("-" * len(lines[1]))
+    for stat in ("average", "max"):
+        summary = result.summary()
+        lines.append(
+            f"{stat:>22s}  "
+            + "  ".join(f"{summary[a][stat]:>8.1%}" for a in APPROACHES)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Figure 6: bottlegraphs — RPPM-predicted vs simulated, per benchmark.
+
+A bottlegraph (Du Bois et al.) stacks one box per thread: height is the
+thread's criticality share of execution time, width its average
+parallelism while running.  Figure 6 draws the simulated graph on the
+right of each axis and RPPM's on the left; the reproduction builds
+both from the respective timelines and also classifies each benchmark
+into the paper's three balance groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.config import MulticoreConfig
+from repro.arch.presets import table_iv_config
+from repro.core.bottlegraph import Bottlegraph, bottlegraph_from_timeline
+from repro.experiments.suites import BenchmarkRef, RunCache, parsec_suite
+from repro.workloads.parsec import BALANCE_CLASS
+
+
+@dataclass(frozen=True)
+class BottlegraphPair:
+    """Predicted and simulated bottlegraphs of one benchmark."""
+
+    benchmark: str
+    suite: str
+    predicted: Bottlegraph
+    simulated: Bottlegraph
+
+    def height_error(self) -> float:
+        """Mean absolute error of normalized per-thread heights."""
+        p = self.predicted.normalized_heights()
+        s = self.simulated.normalized_heights()
+        n = max(len(p), 1)
+        return sum(abs(a - b) for a, b in zip(p, s)) / n
+
+    def classify(
+        self, graph: Optional[Bottlegraph] = None, cores: int = 4
+    ) -> str:
+        """Balance class of a bottlegraph (paper's three groups).
+
+        * ``balanced``: the main thread does almost no work and the
+          workers run as wide as the machine (parallelism near the
+          core count — the paper's main + four workers group).
+        * ``main_works``: the main thread carries a worker-sized (or
+          larger) share of the execution.
+        * ``imbalanced``: the main thread is idle-ish *and* worker
+          parallelism is capped below the core count (the paper's
+          main + three workers group).
+        """
+        g = graph if graph is not None else self.simulated
+        heights = g.normalized_heights()
+        if not heights or g.total <= 0:
+            return "empty"
+        main_share = heights[0]
+        worker_widths = [w for w in g.widths[1:] if w > 0]
+        avg_width = (
+            sum(worker_widths) / len(worker_widths) if worker_widths else 0
+        )
+        workers = max(len(g.heights) - 1, 1)
+        if main_share >= 0.9 / (workers + 1):
+            return "main_works"
+        if avg_width >= cores - 0.5:
+            return "balanced"
+        return "imbalanced"
+
+    def classes_agree(self) -> bool:
+        """Does RPPM predict the same balance class as simulation?"""
+        return self.classify(self.predicted) == self.classify(
+            self.simulated
+        )
+
+
+@dataclass
+class Figure6Result:
+    pairs: List[BottlegraphPair]
+    config: str
+
+    def pair(self, benchmark: str) -> BottlegraphPair:
+        for p in self.pairs:
+            if p.benchmark == benchmark:
+                return p
+        raise KeyError(benchmark)
+
+    def agreement_rate(self) -> float:
+        if not self.pairs:
+            return 0.0
+        return sum(p.classes_agree() for p in self.pairs) / len(self.pairs)
+
+
+def run_bottlegraph_pair(
+    ref: BenchmarkRef, config: MulticoreConfig, cache: RunCache
+) -> BottlegraphPair:
+    pred = cache.prediction(ref, config)
+    sim = cache.simulation(ref, config)
+    return BottlegraphPair(
+        benchmark=ref.name,
+        suite=ref.suite,
+        predicted=bottlegraph_from_timeline(pred.timeline),
+        simulated=bottlegraph_from_timeline(sim.timeline),
+    )
+
+
+def run_figure6(
+    benchmarks: Optional[Sequence[BenchmarkRef]] = None,
+    config: Optional[MulticoreConfig] = None,
+    cache: Optional[RunCache] = None,
+) -> Figure6Result:
+    """Figure 6 over the Parsec suite (the paper's scope)."""
+    benchmarks = list(benchmarks) if benchmarks else parsec_suite()
+    config = config or table_iv_config("base")
+    cache = cache or RunCache()
+    pairs = [
+        run_bottlegraph_pair(ref, config, cache) for ref in benchmarks
+    ]
+    return Figure6Result(pairs=pairs, config=config.name)
+
+
+def expected_balance_class(benchmark: str) -> str:
+    """The paper's Figure 6 grouping for a Parsec benchmark."""
+    return BALANCE_CLASS[benchmark]
+
+
+def render_bottlegraph(graph: Bottlegraph, label: str = "",
+                       width: int = 40) -> str:
+    """One bottlegraph as ASCII art (widest box at the bottom)."""
+    if graph.total <= 0:
+        return f"{label}: (empty)"
+    lines = [f"{label} (total {graph.total:.0f})"] if label else []
+    max_width = max(max(graph.widths), 1.0)
+    for tid in reversed(graph.stacking_order()):
+        share = graph.heights[tid] / graph.total
+        w = graph.widths[tid]
+        bar = "#" * max(1, int(round(w / max_width * width)))
+        lines.append(
+            f"  T{tid}: {share:>6.1%} tall, {w:>4.2f} wide |{bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure6(result: Figure6Result) -> str:
+    lines = [f"Bottlegraphs, RPPM vs simulation ({result.config})"]
+    for p in result.pairs:
+        lines.append(f"== {p.suite}.{p.benchmark} "
+                     f"(paper class: {expected_balance_class(p.benchmark)})")
+        lines.append(render_bottlegraph(p.predicted, "  RPPM"))
+        lines.append(render_bottlegraph(p.simulated, "  simulation"))
+        lines.append(
+            f"  height error {p.height_error():.3f}, classes "
+            + ("agree" if p.classes_agree() else "DISAGREE")
+        )
+    lines.append(f"class agreement: {result.agreement_rate():.0%}")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Figure 5: average per-thread CPI stacks, RPPM vs simulation.
+
+For each benchmark the paper draws two stacked bars — the left from
+RPPM, the right from simulation, normalized to the simulated total —
+decomposed into base / branch / I-cache / memory / sync components.
+The reproduction reports the same normalized component pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.config import MulticoreConfig
+from repro.arch.presets import table_iv_config
+from repro.core.cpi_stack import COMPONENTS
+from repro.experiments.suites import BenchmarkRef, RunCache, full_suite
+
+
+@dataclass(frozen=True)
+class StackPair:
+    """Predicted and simulated normalized CPI stacks of one benchmark.
+
+    Components are normalized to the *simulated* total CPI, as in the
+    paper's Figure 5 (so the simulated bar sums to 1 and the predicted
+    bar's total shows the overall prediction error directly).
+    """
+
+    benchmark: str
+    suite: str
+    predicted: Dict[str, float]
+    simulated: Dict[str, float]
+
+    @property
+    def predicted_total(self) -> float:
+        return sum(self.predicted.values())
+
+    @property
+    def simulated_total(self) -> float:
+        return sum(self.simulated.values())
+
+    def component_error(self, component: str) -> float:
+        """Absolute difference of a component's normalized share."""
+        return abs(self.predicted[component] - self.simulated[component])
+
+    def dominant_error_component(self) -> str:
+        """The component contributing most prediction error."""
+        return max(COMPONENTS, key=self.component_error)
+
+
+@dataclass
+class Figure5Result:
+    pairs: List[StackPair]
+    config: str
+
+    def pair(self, benchmark: str) -> StackPair:
+        for p in self.pairs:
+            if p.benchmark == benchmark:
+                return p
+        raise KeyError(benchmark)
+
+
+def run_stack_pair(
+    ref: BenchmarkRef, config: MulticoreConfig, cache: RunCache
+) -> StackPair:
+    """Normalized predicted/simulated stacks for one benchmark."""
+    pred_stack = cache.prediction(ref, config).average_stack()
+    sim_stack = cache.simulation(ref, config).average_stack()
+    sim_total = max(sim_stack.total_cycles, 1e-12)
+    return StackPair(
+        benchmark=ref.name,
+        suite=ref.suite,
+        predicted={
+            c: getattr(pred_stack, c) / sim_total for c in COMPONENTS
+        },
+        simulated={
+            c: getattr(sim_stack, c) / sim_total for c in COMPONENTS
+        },
+    )
+
+
+def run_figure5(
+    benchmarks: Optional[Sequence[BenchmarkRef]] = None,
+    config: Optional[MulticoreConfig] = None,
+    cache: Optional[RunCache] = None,
+) -> Figure5Result:
+    """Figure 5 for the whole suite on the base configuration."""
+    benchmarks = list(benchmarks) if benchmarks else full_suite()
+    config = config or table_iv_config("base")
+    cache = cache or RunCache()
+    pairs = [run_stack_pair(ref, config, cache) for ref in benchmarks]
+    return Figure5Result(pairs=pairs, config=config.name)
+
+
+def render_figure5(result: Figure5Result) -> str:
+    """Figure 5 as paired normalized component rows."""
+    head = (
+        f"{'benchmark':>22s} {'bar':>4s}  "
+        + "  ".join(f"{c:>7s}" for c in COMPONENTS)
+        + f"  {'total':>7s}"
+    )
+    lines = [f"CPI stacks normalized to simulation ({result.config})", head]
+    for p in result.pairs:
+        for label, stack, total in (
+            ("RPPM", p.predicted, p.predicted_total),
+            ("sim", p.simulated, p.simulated_total),
+        ):
+            name = f"{p.suite}.{p.benchmark}" if label == "RPPM" else ""
+            lines.append(
+                f"{name:>22s} {label:>4s}  "
+                + "  ".join(f"{stack[c]:>7.3f}" for c in COMPONENTS)
+                + f"  {total:>7.3f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""The evaluated workload suite (paper §IV) and shared run caching.
+
+The paper evaluates all sixteen Rodinia benchmarks plus ten Parsec
+benchmarks on a quad-core machine.  Several experiments (Figures 4-6)
+need the same profiles and simulations, so this module provides a
+process-local cache keyed by (suite, benchmark, scale, configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.config import MulticoreConfig
+from repro.core.rppm import PredictionResult, predict
+from repro.profiler.profile import WorkloadProfile
+from repro.profiler.profiler import profile_workload
+from repro.simulator.multicore import simulate
+from repro.simulator.results import SimulationResult
+from repro.workloads.generator import expand
+from repro.workloads.ir import WorkloadTrace
+from repro.workloads.parsec import PARSEC, parsec_workload
+from repro.workloads.rodinia import RODINIA, rodinia_workload
+
+
+@dataclass(frozen=True)
+class BenchmarkRef:
+    """One evaluated benchmark: suite plus name (paper Figure 4 x-axis)."""
+
+    suite: str  # "rodinia" | "parsec"
+    name: str
+
+    def __post_init__(self) -> None:
+        known = RODINIA if self.suite == "rodinia" else (
+            set(PARSEC) if self.suite == "parsec" else None
+        )
+        if known is None:
+            raise ValueError(f"unknown suite {self.suite!r}")
+        if self.name not in known:
+            raise ValueError(f"unknown {self.suite} benchmark {self.name!r}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.suite}.{self.name}"
+
+
+def rodinia_suite() -> List[BenchmarkRef]:
+    """All sixteen Rodinia benchmarks, Table II order."""
+    return [BenchmarkRef("rodinia", name) for name in RODINIA]
+
+
+def parsec_suite() -> List[BenchmarkRef]:
+    """The ten evaluated Parsec benchmarks, Figure 4 order."""
+    return [BenchmarkRef("parsec", name) for name in PARSEC]
+
+
+def full_suite() -> List[BenchmarkRef]:
+    """Rodinia followed by Parsec, as in Figure 4."""
+    return rodinia_suite() + parsec_suite()
+
+
+def build_workload(ref: BenchmarkRef, scale: float = 1.0):
+    """Workload spec for a benchmark reference."""
+    if ref.suite == "rodinia":
+        return rodinia_workload(ref.name, scale=scale)
+    return parsec_workload(ref.name, scale=scale)
+
+
+class RunCache:
+    """Memoised traces, profiles, predictions and simulations.
+
+    Experiments share one instance so that e.g. Figure 4 and Figure 5
+    profile and simulate each benchmark once.  The profile cache key is
+    (benchmark, scale); prediction/simulation keys additionally carry
+    the configuration (hashable by design).
+    """
+
+    def __init__(self, scale: float = 1.0):
+        self.scale = scale
+        self._traces: Dict[str, WorkloadTrace] = {}
+        self._profiles: Dict[str, WorkloadProfile] = {}
+        self._predictions: Dict[
+            Tuple[str, MulticoreConfig], PredictionResult
+        ] = {}
+        self._simulations: Dict[
+            Tuple[str, MulticoreConfig], SimulationResult
+        ] = {}
+
+    def trace(self, ref: BenchmarkRef) -> WorkloadTrace:
+        if ref.label not in self._traces:
+            self._traces[ref.label] = expand(
+                build_workload(ref, self.scale)
+            )
+        return self._traces[ref.label]
+
+    def profile(self, ref: BenchmarkRef) -> WorkloadProfile:
+        if ref.label not in self._profiles:
+            self._profiles[ref.label] = profile_workload(self.trace(ref))
+        return self._profiles[ref.label]
+
+    def prediction(
+        self, ref: BenchmarkRef, config: MulticoreConfig
+    ) -> PredictionResult:
+        key = (ref.label, config)
+        if key not in self._predictions:
+            self._predictions[key] = predict(self.profile(ref), config)
+        return self._predictions[key]
+
+    def simulation(
+        self, ref: BenchmarkRef, config: MulticoreConfig
+    ) -> SimulationResult:
+        key = (ref.label, config)
+        if key not in self._simulations:
+            self._simulations[key] = simulate(self.trace(ref), config)
+        return self._simulations[key]
+
+
+#: Default shared cache used by the benchmark harness.
+_SHARED: Optional[RunCache] = None
+
+
+def shared_cache(scale: float = 1.0) -> RunCache:
+    """Process-wide cache (reset when a different scale is requested)."""
+    global _SHARED
+    if _SHARED is None or _SHARED.scale != scale:
+        _SHARED = RunCache(scale)
+    return _SHARED

@@ -1,0 +1,101 @@
+"""Table III: dynamic synchronization event counts (Parsec).
+
+The paper characterizes the Parsec benchmarks by their dynamic
+synchronization behaviour: critical-section entries, barrier episodes
+and condition-variable operations.  The reproduction counts the same
+categories from the profiled synchronization structure and compares
+the *shape* (which benchmarks are lock-dominated, barrier-dominated,
+condvar-dominated, or synchronization-free) against the paper's
+table — absolute counts are scaled down with the instruction budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.suites import BenchmarkRef, RunCache, parsec_suite
+from repro.workloads.parsec import PAPER_TABLE_III
+
+#: Table III column names.
+CATEGORIES = ("critical_sections", "barriers", "condition_variables")
+
+
+@dataclass(frozen=True)
+class SyncCounts:
+    """One benchmark's dynamic synchronization event counts."""
+
+    benchmark: str
+    critical_sections: int
+    barriers: int
+    condition_variables: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {c: getattr(self, c) for c in CATEGORIES}
+
+    def dominant(self) -> str:
+        """The dominant category, or 'none' when all are zero."""
+        counts = self.as_dict()
+        if not any(counts.values()):
+            return "none"
+        return max(counts, key=counts.get)
+
+
+@dataclass
+class Table3Result:
+    rows: List[SyncCounts]
+
+    def row(self, benchmark: str) -> SyncCounts:
+        for r in self.rows:
+            if r.benchmark == benchmark:
+                return r
+        raise KeyError(benchmark)
+
+
+def paper_dominant(benchmark: str) -> str:
+    """Dominant category in the paper's Table III (or 'none')."""
+    paper = PAPER_TABLE_III[benchmark]
+    mapped = {
+        "critical_sections": paper["critical_sections"],
+        "barriers": paper["barriers"],
+        "condition_variables": paper["condvars"],
+    }
+    if not any(mapped.values()):
+        return "none"
+    return max(mapped, key=mapped.get)
+
+
+def run_table3(
+    benchmarks: Optional[Sequence[BenchmarkRef]] = None,
+    cache: Optional[RunCache] = None,
+) -> Table3Result:
+    """Count synchronization events over the Parsec suite."""
+    benchmarks = list(benchmarks) if benchmarks else parsec_suite()
+    cache = cache or RunCache()
+    rows = []
+    for ref in benchmarks:
+        counts = cache.profile(ref).sync_event_counts()
+        rows.append(
+            SyncCounts(
+                benchmark=ref.name,
+                critical_sections=counts["critical_sections"],
+                barriers=counts["barriers"],
+                condition_variables=counts["condition_variables"],
+            )
+        )
+    return Table3Result(rows=rows)
+
+
+def render_table3(result: Table3Result) -> str:
+    header = (
+        f"{'Benchmark':>16s}  {'CritSect':>9s}  {'Barriers':>9s}  "
+        f"{'CondVar':>9s}  {'dominant':>18s}  {'paper':>18s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in result.rows:
+        lines.append(
+            f"{r.benchmark:>16s}  {r.critical_sections:>9d}  "
+            f"{r.barriers:>9d}  {r.condition_variables:>9d}  "
+            f"{r.dominant():>18s}  {paper_dominant(r.benchmark):>18s}"
+        )
+    return "\n".join(lines)

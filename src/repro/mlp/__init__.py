@@ -1,0 +1,5 @@
+"""Memory-level parallelism model (Van den Steen & Eeckhout [36])."""
+
+from repro.mlp.model import predict_mlp
+
+__all__ = ["predict_mlp"]

@@ -1,0 +1,72 @@
+"""Microarchitecture-independent MLP prediction.
+
+Eq. 1's D-cache component divides the long-latency miss penalty by the
+average number of outstanding misses (MLP).  Following Van den Steen &
+Eeckhout [36], MLP is predicted from microarchitecture-independent
+workload statistics plus the target's window resources:
+
+* **candidates** — the ROB holds ``W`` instructions, of which
+  ``W * loads_per_instr * miss_rate`` are expected long-latency misses:
+  the pool of potentially-overlapping accesses;
+* **dependence ceiling** — a miss whose address depends (transitively,
+  through any chain of loads) on another in-flight miss cannot issue
+  concurrently with it; the profiler's load-parallelism statistic
+  (loads per window / longest transitive load chain) caps the overlap;
+* **MSHRs** cap the number of in-flight misses the hardware tracks.
+
+MLP is at least 1 (the blocking miss itself).
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import CoreConfig
+
+
+def predict_mlp(
+    rob_size: int,
+    mshr_entries: int,
+    loads_per_instr: float,
+    llc_miss_rate_per_load: float,
+    load_parallelism: float,
+) -> float:
+    """Average outstanding long-latency misses when at least one is.
+
+    Parameters
+    ----------
+    rob_size:
+        Instruction-window size of the target core.
+    mshr_entries:
+        Maximum outstanding misses supported by the L1 MSHRs.
+    loads_per_instr:
+        Load density of the epoch (from the instruction mix).
+    llc_miss_rate_per_load:
+        Probability a load misses the LLC (StatStack prediction).
+    load_parallelism:
+        Profiled dependence ceiling: independent load chains per window
+        (see :func:`repro.profiler.ilp.load_parallelism`).
+    """
+    if rob_size <= 0 or mshr_entries <= 0:
+        raise ValueError("window resources must be positive")
+    if loads_per_instr < 0 or llc_miss_rate_per_load < 0:
+        raise ValueError("rates must be non-negative")
+    if load_parallelism < 1.0:
+        raise ValueError("load parallelism is at least 1")
+    candidates = rob_size * loads_per_instr * llc_miss_rate_per_load
+    mlp = min(candidates, load_parallelism, float(mshr_entries))
+    return float(max(mlp, 1.0))
+
+
+def predict_mlp_for_core(
+    core: CoreConfig,
+    loads_per_instr: float,
+    llc_miss_rate_per_load: float,
+    load_parallelism: float,
+) -> float:
+    """Convenience wrapper taking a :class:`CoreConfig`."""
+    return predict_mlp(
+        rob_size=core.rob_size,
+        mshr_entries=core.mshr_entries,
+        loads_per_instr=loads_per_instr,
+        llc_miss_rate_per_load=llc_miss_rate_per_load,
+        load_parallelism=load_parallelism,
+    )

@@ -1,0 +1,46 @@
+"""Microarchitecture-independent workload profiler (the Pin-tool substitute).
+
+Runs a functional replay of a workload trace (unit cost per
+instruction, fine-grained chunk interleaving across threads) and
+collects, per thread and per static code region ("pool"):
+
+* instruction mix,
+* ILP tables from micro-trace critical-path analysis,
+* branch-history entropy floors at multiple history depths,
+* per-thread and global reuse-distance histograms, cold footprints and
+  write-invalidation (coherence) counts — StatStack's multithreaded
+  inputs,
+* load-dependence chaining (for the MLP model),
+* the full synchronization event structure.
+
+Everything in the resulting :class:`~repro.profiler.profile.WorkloadProfile`
+is independent of any particular core/cache/branch-predictor
+configuration: one profile serves the whole design space (paper §III).
+"""
+
+from repro.profiler.histogram import NBINS, RDHistogram, bin_index, bin_rep
+from repro.profiler.profile import (
+    BranchStats,
+    DataLocalityStats,
+    EpochProfile,
+    ILPTable,
+    SegmentRef,
+    ThreadProfile,
+    WorkloadProfile,
+)
+from repro.profiler.profiler import profile_workload
+
+__all__ = [
+    "NBINS",
+    "RDHistogram",
+    "bin_index",
+    "bin_rep",
+    "BranchStats",
+    "DataLocalityStats",
+    "EpochProfile",
+    "ILPTable",
+    "SegmentRef",
+    "ThreadProfile",
+    "WorkloadProfile",
+    "profile_workload",
+]

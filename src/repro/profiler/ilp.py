@@ -1,0 +1,243 @@
+"""Micro-trace ILP profiling (paper §II-B, "Instruction-level parallelism").
+
+The paper samples a micro-trace of a thousand instructions periodically
+and records instruction mix and inter-instruction dependences at that
+granularity.  Here we sample windows of ``MICROTRACE_LEN`` ops per pool
+and replay each sample through a tiny dependence scoreboard for a grid
+of instruction-window sizes and load latencies:
+
+* an op dispatches once the op ``window`` before it has committed
+  (in-order commit bounds window occupancy — the ROB constraint),
+* an op issues once its producer (from the trace's dependence array)
+  has completed, with canonical ISA execution latencies for non-load
+  classes and the grid's ``load_lat`` for loads,
+* commit is in order.
+
+``ILP(W, l_load) = instructions / makespan`` of that replay.  The
+window axis models the ROB; the load-latency axis lets the predictor
+fold the target hierarchy's *average* data latency into the chains —
+including, at the top of the grid, main-memory latency, which is how
+Eq. 1's D-cache component is derived (the extra time of the replay
+when loads carry the miss-inclusive average latency).
+
+The same replay also measures the mean dispatch-to-completion time of
+branch micro-ops — the branch *resolution time* ``c_res`` of Eq. 1's
+branch component — and the dependence-imposed ceiling on overlapping
+loads (for the explicit MLP model).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.profiler.profile import ILPTable
+from repro.workloads.ir import OP_BRANCH, OP_LOAD
+
+#: Canonical (ISA-reference) execution latencies per op class, indexed
+#: by class code: ialu, imul, fp, load (placeholder), store, branch.
+CANONICAL_LAT = (1, 3, 4, 0, 1, 1)
+
+#: Default profiling grids.  Windows cover the Table IV ROB range;
+#: load latencies run from an L1 hit to a miss-dominated average.
+WINDOW_GRID = (16, 32, 64, 128, 288, 512)
+LOAD_LAT_GRID = (2, 10, 30, 100, 250)
+
+#: Micro-trace sample length (ops).
+MICROTRACE_LEN = 512
+
+
+def scoreboard_replay(
+    op: Sequence[int],
+    dep: Sequence[int],
+    window: int,
+    load_lat,
+) -> Tuple[float, float]:
+    """Replay one micro-trace; returns (ILP, branch slice load count).
+
+    The replay is the idealized core of the interval model: unbounded
+    dispatch width and issue ports, perfect branch prediction and
+    caches — only data dependences and the ``window``-sized instruction
+    window limit progress.  The resulting ILP is an upper bound that
+    Eq. 1 clips by the pipeline width and port throughput.
+
+    The second return value is the mean number of *loads* in the
+    backward dependence slice of each branch (reach limited to the
+    window): the exposure of branch resolution to outstanding cache
+    misses, which drives Eq. 1's ``c_res``.
+
+    ``load_lat`` is either a scalar (every load pays the same latency —
+    the profiling-time grid) or a per-op latency sequence (prediction
+    time: each load carries its own hierarchy-level latency, so fast
+    and slow loads mix on the dependence chains exactly as they do in
+    a cache-accurate execution).
+    """
+    n = len(op)
+    if n == 0:
+        return 1.0, 0.0
+    lats = list(CANONICAL_LAT)
+    per_op = None
+    if isinstance(load_lat, (int, float)):
+        lats[OP_LOAD] = load_lat
+    else:
+        per_op = load_lat
+    comp: List[float] = [0.0] * n
+    commit: List[float] = [0.0] * n
+    # Loads in the backward dependence slice, reach limited to the
+    # window: a branch fed (transitively) by in-flight loads resolves
+    # only when those loads return.
+    slice_loads: List[int] = [0] * n
+    loads_sum = 0
+    res_count = 0
+    commit_prev = 0.0
+    for i in range(n):
+        dispatch = commit[i - window] if i >= window else 0.0
+        d = dep[i]
+        o = op[i]
+        is_load = 1 if o == OP_LOAD else 0
+        if per_op is not None and is_load:
+            lat = per_op[i]
+        else:
+            lat = lats[o]
+        if 0 < d <= i:
+            ready = comp[i - d]
+            nloads = (slice_loads[i - d] if d <= window else 0) + is_load
+        else:
+            ready = 0.0
+            nloads = is_load
+        slice_loads[i] = nloads
+        start = dispatch if dispatch > ready else ready
+        c = start + lat
+        comp[i] = c
+        commit_prev = commit_prev if commit_prev > c else c
+        commit[i] = commit_prev
+        if o == OP_BRANCH:
+            loads_sum += nloads
+            res_count += 1
+    makespan = commit_prev
+    ilp = n / makespan if makespan > 0 else float(n)
+    res = loads_sum / res_count if res_count else 0.0
+    return max(ilp, 1e-3), res
+
+
+def hierarchy_ilp(
+    samples: List[Tuple[np.ndarray, np.ndarray]],
+    window: int,
+    miss_rates: Tuple[float, float, float],
+    level_lats: Tuple[float, float, float],
+    mem_latency: float,
+) -> float:
+    """ILP with per-load latencies drawn from the hierarchy distribution.
+
+    Every load is assigned a hierarchy level by a deterministic quantile
+    (the same load keeps the same quantile across configurations, so
+    predictions vary smoothly across a design space): a load with
+    quantile ``u`` hits L1 when ``u >= m1``, L2 when ``m2 <= u < m1``,
+    the LLC when ``m3 <= u < m2``, and goes to memory otherwise,
+    paying the LLC lookup plus ``mem_latency``.  Pass ``mem_latency=0``
+    for the hit-only replay (Eq. 1's base component); the full replay
+    minus the hit-only replay is the D-cache component.
+
+    This mixes fast and slow loads on the dependence chains exactly as
+    a cache-accurate execution does — folding one *average* latency
+    into every load systematically overestimates chain serialization.
+    """
+    m1, m2, m3 = miss_rates
+    l1, l2, llc = level_lats
+    if not samples:
+        return 1.0
+    inv = []
+    for si, (op, dep) in enumerate(samples):
+        op_arr = np.asarray(op)
+        rng = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence([0xA11CE, si]))
+        )
+        u = rng.random(len(op_arr))
+        lat = np.full(len(op_arr), float(l1))
+        lat[u < m1] = l2
+        lat[u < m2] = llc
+        lat[u < m3] = llc + mem_latency
+        ilp, _ = scoreboard_replay(
+            op_arr.tolist(), np.asarray(dep).tolist(), window, lat.tolist()
+        )
+        inv.append(1.0 / ilp)
+    return 1.0 / float(np.mean(inv))
+
+
+def load_parallelism(
+    op: Sequence[int], dep: Sequence[int], window: int
+) -> float:
+    """Dependence-imposed ceiling on overlapping loads per window.
+
+    For each window: the number of loads divided by the longest
+    *transitive* load-to-load chain (a load whose address computation
+    passes through another load cannot overlap with it, whatever the
+    MSHR count).  Averaged over the micro-trace's windows, weighted by
+    load count.
+    """
+    n = len(op)
+    if n == 0:
+        return 1.0
+    total_loads = 0
+    total_depth = 0.0
+    start = 0
+    while start < n:
+        end = min(start + window, n)
+        ldepth: List[int] = [0] * (end - start)
+        maxd = 0
+        loads = 0
+        for i in range(start, end):
+            d = dep[i]
+            base = ldepth[i - d - start] if 0 < d <= i - start else 0
+            is_load = 1 if op[i] == OP_LOAD else 0
+            loads += is_load
+            val = base + is_load
+            ldepth[i - start] = val
+            if val > maxd:
+                maxd = val
+        total_loads += loads
+        total_depth += max(maxd, 1)
+        start = end
+    if total_loads == 0:
+        return 1.0
+    return max(1.0, total_loads / total_depth)
+
+
+def build_ilp_table(
+    samples: List[Tuple[np.ndarray, np.ndarray]],
+    windows: Sequence[int] = WINDOW_GRID,
+    load_lats: Sequence[int] = LOAD_LAT_GRID,
+) -> ILPTable:
+    """Aggregate sampled micro-traces into an :class:`ILPTable`.
+
+    ``samples`` is a list of (op, dep) array pairs.  With no samples
+    (an epoch too small to sample), a conservative table of ILP=1 is
+    returned.
+    """
+    grid = np.ones((len(windows), len(load_lats)), dtype=np.float64)
+    br_loads = np.zeros(len(windows), dtype=np.float64)
+    lp = np.ones(len(windows), dtype=np.float64)
+    if samples:
+        ops = [np.asarray(o).tolist() for o, _ in samples]
+        deps = [np.asarray(d).tolist() for _, d in samples]
+        for wi, window in enumerate(windows):
+            for li, lat in enumerate(load_lats):
+                ilps = []
+                loads = []
+                for o, d in zip(ops, deps):
+                    ilp_v, loads_v = scoreboard_replay(o, d, window, lat)
+                    ilps.append(ilp_v)
+                    loads.append(loads_v)
+                # Rates average harmonically (times average linearly).
+                grid[wi, li] = 1.0 / float(np.mean([1.0 / v for v in ilps]))
+                if li == 0:  # slice load counts are latency-independent
+                    br_loads[wi] = float(np.mean(loads))
+            lp[wi] = float(np.mean([
+                load_parallelism(o, d, window)
+                for o, d in zip(ops, deps)
+            ]))
+    return ILPTable(
+        windows=tuple(windows), load_lats=tuple(load_lats), ilp=grid,
+        branch_loads=br_loads, load_par=lp,
+    )

@@ -1,0 +1,173 @@
+"""Multithreaded reuse-distance collection (StatStack inputs, §III-A).
+
+Two distance notions per the paper's Fig. 2:
+
+* **private**: accesses by the *same thread* between two accesses by
+  that thread to a line (drives private L1/L2 miss prediction).  If any
+  other thread *wrote* the line in between, the reuse is broken by
+  coherence and recorded as an invalidation (infinite distance).
+* **global**: accesses by *any thread* since the last access to the
+  line by any thread (drives shared-LLC miss prediction; captures both
+  positive interference from sharing and negative interference from
+  competition).
+
+The collector is fed by the profiler's functional replay in chunk
+interleaving order; counters are plain dicts keyed by cache-line index.
+The inner loop is deliberately low-level Python — it runs once per
+memory access of the whole workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.profiler.histogram import NBINS, RDHistogram, bin_index
+
+_EXACT = 8
+
+
+class PoolLocality:
+    """Accumulated locality statistics of one (thread, pool)."""
+
+    __slots__ = (
+        "priv_counts", "priv_cold", "priv_inval",
+        "glob_counts", "glob_cold",
+        "n_accesses", "n_stores",
+    )
+
+    def __init__(self) -> None:
+        self.priv_counts = np.zeros(NBINS, dtype=np.float64)
+        self.priv_cold = 0
+        self.priv_inval = 0
+        self.glob_counts = np.zeros(NBINS, dtype=np.float64)
+        self.glob_cold = 0
+        self.n_accesses = 0
+        self.n_stores = 0
+
+    def private_hist(self) -> RDHistogram:
+        return RDHistogram(
+            counts=self.priv_counts.copy(),
+            cold=self.priv_cold,
+            inval=self.priv_inval,
+        )
+
+    def shared_hist(self) -> RDHistogram:
+        return RDHistogram(
+            counts=self.glob_counts.copy(), cold=self.glob_cold
+        )
+
+
+class LocalityCollector:
+    """Replays the interleaved data-access stream of all threads."""
+
+    def __init__(self, n_threads: int) -> None:
+        self.n_threads = n_threads
+        self.global_seq = 0
+        #: line -> global sequence number of the last access (any thread).
+        self.global_last: Dict[int, int] = {}
+        #: per thread: line -> (thread counter, global seq) at last access.
+        self.priv_last: List[Dict[int, Tuple[int, int]]] = [
+            {} for _ in range(n_threads)
+        ]
+        self.priv_count = [0] * n_threads
+        #: line -> (writer thread, global seq of the write).
+        self.last_write: Dict[int, Tuple[int, int]] = {}
+
+    def process(
+        self,
+        tid: int,
+        addrs: np.ndarray,
+        stores: np.ndarray,
+        pool: PoolLocality,
+    ) -> None:
+        """Feed one chunk's memory accesses (in program order).
+
+        ``addrs`` are cache-line indices; ``stores`` is a boolean mask of
+        the same length marking store accesses.
+        """
+        if len(addrs) == 0:
+            return
+        global_last = self.global_last
+        priv_last = self.priv_last[tid]
+        last_write = self.last_write
+        g = self.global_seq
+        c = self.priv_count[tid]
+        priv_counts = pool.priv_counts
+        glob_counts = pool.glob_counts
+        addrs_list = addrs.tolist()
+        stores_list = stores.tolist()
+        for line, is_store in zip(addrs_list, stores_list):
+            gl = global_last.get(line)
+            if gl is None:
+                pool.glob_cold += 1
+            else:
+                rd = g - gl - 1
+                if rd < _EXACT:
+                    glob_counts[rd] += 1
+                else:
+                    glob_counts[bin_index(rd)] += 1
+            global_last[line] = g
+            pl = priv_last.get(line)
+            if pl is None:
+                pool.priv_cold += 1
+            else:
+                pcount, pgseq = pl
+                w = last_write.get(line)
+                if w is not None and w[0] != tid and w[1] > pgseq:
+                    pool.priv_inval += 1
+                else:
+                    rd = c - pcount - 1
+                    if rd < _EXACT:
+                        priv_counts[rd] += 1
+                    else:
+                        priv_counts[bin_index(rd)] += 1
+            priv_last[line] = (c, g)
+            if is_store:
+                last_write[line] = (tid, g)
+                pool.n_stores += 1
+            g += 1
+            c += 1
+        self.global_seq = g
+        self.priv_count[tid] = c
+        pool.n_accesses += len(addrs_list)
+
+
+class FetchLocality:
+    """Per-thread instruction-fetch reuse-distance collector.
+
+    Fetches are line-granular (consecutive ops on the same line collapse
+    into one fetch); the resulting distribution drives L1-I and deeper
+    instruction-miss prediction.  Instruction lines are read-only, so no
+    coherence handling is needed.
+    """
+
+    __slots__ = ("last", "count")
+
+    def __init__(self) -> None:
+        self.last: Dict[int, int] = {}
+        self.count = 0
+
+    def process(self, lines: np.ndarray, hist: RDHistogram) -> int:
+        """Feed one chunk's fetch stream; returns the number of fetches."""
+        if len(lines) == 0:
+            return 0
+        last = self.last
+        c = self.count
+        counts = hist.counts
+        for line in lines.tolist():
+            prev = last.get(line)
+            if prev is None:
+                hist.cold += 1
+            else:
+                rd = c - prev - 1
+                if rd < _EXACT:
+                    counts[rd] += 1
+                else:
+                    counts[bin_index(rd)] += 1
+            last[line] = c
+            c += 1
+        n = c - self.count
+        self.count = c
+        return n

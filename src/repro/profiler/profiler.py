@@ -1,0 +1,215 @@
+"""Profiler orchestration: trace -> :class:`WorkloadProfile`.
+
+The profiler performs a *functional* replay of the workload (unit cost
+per instruction) through the shared DES scheduler so that concurrent
+threads interleave their memory streams chunk-by-chunk — the stand-in
+for the particular interleaving a Pin profiling run would observe
+(paper §III-A notes predictions are robust to the profiling
+interleaving; tests verify this).
+
+Statistics are pooled per (thread, code region): segments generated
+from the same static code share one pool, exactly as a Pin tool
+aggregates by static program location.  Pooling keeps profiles compact
+even for workloads with millions of tiny critical sections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.profiler.branchprof import branch_stats
+from repro.profiler.histogram import RDHistogram
+from repro.profiler.ilp import MICROTRACE_LEN, build_ilp_table
+from repro.profiler.locality import (
+    FetchLocality,
+    LocalityCollector,
+    PoolLocality,
+)
+from repro.profiler.profile import (
+    DataLocalityStats,
+    EpochProfile,
+    SegmentRef,
+    ThreadProfile,
+    WorkloadProfile,
+)
+from repro.runtime.chunking import chunk_trace
+from repro.runtime.scheduler import run_schedule
+from repro.workloads.generator import expand
+from repro.workloads.ir import (
+    OP_CLASSES,
+    OP_LOAD,
+    OP_STORE,
+    WorkloadTrace,
+    fetch_lines,
+    instruction_pcs,
+)
+from repro.workloads.spec import WorkloadSpec
+
+#: Upper bound on branch outcomes retained per pool for entropy analysis.
+_BRANCH_CAP = 100_000
+#: Micro-trace samples retained per pool for ILP analysis.
+_ILP_SAMPLES = 6
+
+
+class _PoolAccum:
+    """Mutable accumulator for one (thread, code-region) pool."""
+
+    __slots__ = (
+        "key", "n_instructions", "n_segments", "class_counts",
+        "branch_streams", "branch_stored", "ilp_samples",
+        "loads", "chained_loads", "locality", "ifetch", "n_fetches",
+    )
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.n_instructions = 0
+        self.n_segments = 0
+        self.class_counts = np.zeros(len(OP_CLASSES), dtype=np.int64)
+        self.branch_streams: List[Tuple[np.ndarray, np.ndarray]] = []
+        self.branch_stored = 0
+        self.ilp_samples: List[Tuple[np.ndarray, np.ndarray]] = []
+        self.loads = 0
+        self.chained_loads = 0
+        self.locality = PoolLocality()
+        self.ifetch = RDHistogram()
+        self.n_fetches = 0
+
+    def finalize(self) -> EpochProfile:
+        loads = max(1, self.loads)
+        return EpochProfile(
+            key=self.key,
+            n_instructions=self.n_instructions,
+            n_segments=self.n_segments,
+            class_counts=self.class_counts,
+            ilp=build_ilp_table(self.ilp_samples),
+            branch=branch_stats(self.branch_streams),
+            data=DataLocalityStats(
+                private=self.locality.private_hist(),
+                shared=self.locality.shared_hist(),
+                n_accesses=self.locality.n_accesses,
+                n_stores=self.locality.n_stores,
+            ),
+            ifetch=self.ifetch,
+            n_fetches=self.n_fetches,
+            load_chain_frac=self.chained_loads / loads if self.loads else 0.0,
+            samples=list(self.ilp_samples),
+        )
+
+
+def profile_workload(
+    workload: Union[WorkloadSpec, WorkloadTrace],
+    chunk: int = 4096,
+) -> WorkloadProfile:
+    """Profile a workload once, for use across all target configurations.
+
+    Parameters
+    ----------
+    workload:
+        A spec (expanded deterministically) or an already-expanded trace.
+    chunk:
+        Interleaving granularity of the functional replay, in
+        instructions.  Smaller chunks approximate instruction-grain
+        interleaving more closely at higher profiling cost.
+    """
+    trace = expand(workload) if isinstance(workload, WorkloadSpec) else workload
+    ctrace = chunk_trace(trace, chunk)
+    n_threads = ctrace.n_threads
+
+    collector = LocalityCollector(n_threads)
+    fetchers = [FetchLocality() for _ in range(n_threads)]
+    pools: Dict[Tuple[int, int], _PoolAccum] = {}
+
+    def _pool(tid: int, key: int) -> _PoolAccum:
+        accum = pools.get((tid, key))
+        if accum is None:
+            accum = _PoolAccum(key)
+            pools[(tid, key)] = accum
+        return accum
+
+    def execute(tid: int, idx: int, start: float) -> float:
+        block = ctrace.threads[tid].segments[idx].block
+        n = block.n_instructions
+        if n == 0:
+            return 0.0
+        key = int(block.iline[0])
+        accum = _pool(tid, key)
+        accum.n_instructions += n
+        accum.n_segments += 1
+        accum.class_counts += block.class_counts()
+
+        mem_idx = block.memory_indices()
+        if len(mem_idx):
+            collector.process(
+                tid,
+                block.addr[mem_idx],
+                block.op[mem_idx] == OP_STORE,
+                accum.locality,
+            )
+
+        br_idx = block.branch_indices()
+        if len(br_idx) and accum.branch_stored < _BRANCH_CAP:
+            pcs = instruction_pcs(block)[br_idx]
+            accum.branch_streams.append(
+                (pcs, block.taken[br_idx].astype(np.int64))
+            )
+            accum.branch_stored += len(br_idx)
+
+        if len(accum.ilp_samples) < _ILP_SAMPLES and n >= 64:
+            take = min(n, MICROTRACE_LEN)
+            accum.ilp_samples.append(
+                (block.op[:take].copy(), block.dep[:take].copy())
+            )
+
+        load_idx = np.flatnonzero(block.op == OP_LOAD)
+        accum.loads += len(load_idx)
+        if len(load_idx):
+            d = block.dep[load_idx]
+            producers = load_idx - d
+            valid = (d > 0) & (producers >= 0)
+            if valid.any():
+                accum.chained_loads += int(
+                    (block.op[producers[valid]] == OP_LOAD).sum()
+                )
+
+        lines = fetch_lines(block)
+        accum.n_fetches += fetchers[tid].process(lines, accum.ifetch)
+        return float(n)
+
+    programs = [
+        [seg.event for seg in t.segments] for t in ctrace.threads
+    ]
+    run_schedule(programs, execute)
+
+    threads: List[ThreadProfile] = []
+    for t in ctrace.threads:
+        refs = []
+        for seg in t.segments:
+            n = seg.block.n_instructions
+            key: Optional[int] = int(seg.block.iline[0]) if n else None
+            refs.append(
+                SegmentRef(
+                    epoch=seg.epoch,
+                    label=seg.label,
+                    event=seg.event,
+                    n_instructions=n,
+                    key=key,
+                )
+            )
+        thread_pools = {
+            key: accum.finalize()
+            for (tid, key), accum in pools.items()
+            if tid == t.thread_id
+        }
+        threads.append(
+            ThreadProfile(
+                thread_id=t.thread_id, segments=refs, pools=thread_pools
+            )
+        )
+    return WorkloadProfile(
+        name=ctrace.name,
+        n_threads=n_threads,
+        threads=threads,
+        seed=ctrace.seed,
+    )

@@ -1,0 +1,28 @@
+"""Shared execution runtime.
+
+Three consumers replay a workload's synchronization structure:
+
+* the profiler (unit-cost functional replay, to interleave memory
+  streams for the global reuse-distance counters),
+* the reference simulator (cycle-accounting replay),
+* RPPM's prediction phase 2 (symbolic replay over *predicted* epoch
+  times — the paper's Algorithm 2).
+
+All three use the same discrete-event scheduler
+(:mod:`repro.runtime.scheduler`) so synchronization semantics cannot
+diverge between the model and its golden reference — only the *timing*
+of epochs differs.
+"""
+
+from repro.runtime.chunking import chunk_trace
+from repro.runtime.scheduler import DeadlockError, ScheduleResult, run_schedule
+from repro.runtime.timeline import Interval, Timeline
+
+__all__ = [
+    "chunk_trace",
+    "DeadlockError",
+    "ScheduleResult",
+    "run_schedule",
+    "Interval",
+    "Timeline",
+]

@@ -1,0 +1,71 @@
+"""Split long trace segments into bounded chunks.
+
+Both the profiler's functional replay and the reference simulator
+advance threads chunk-by-chunk so that concurrently-running threads
+interleave their shared-cache accesses at fine grain (the paper's Pin
+profiler and Sniper interleave at instruction grain; chunking is our
+tractable approximation).  Chunks are numpy views, not copies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.ir import (
+    Segment,
+    SyncKind,
+    SyncOp,
+    ThreadTrace,
+    TraceBlock,
+    WorkloadTrace,
+)
+
+_NONE_EVENT = SyncOp(SyncKind.NONE)
+
+
+def _split_block(block: TraceBlock, max_block: int) -> List[TraceBlock]:
+    n = block.n_instructions
+    if n <= max_block:
+        return [block]
+    out = []
+    for lo in range(0, n, max_block):
+        hi = min(lo + max_block, n)
+        out.append(
+            TraceBlock(
+                op=block.op[lo:hi],
+                dep=block.dep[lo:hi],
+                addr=block.addr[lo:hi],
+                taken=block.taken[lo:hi],
+                iline=block.iline[lo:hi],
+            )
+        )
+    return out
+
+
+def chunk_trace(trace: WorkloadTrace, max_block: int = 4096) -> WorkloadTrace:
+    """Return an equivalent trace whose blocks are at most ``max_block``.
+
+    Oversized segments become several segments: all but the last end
+    with a NONE event (no synchronization), the last keeps the original
+    event, epoch index and label.  Dependence distances within later
+    chunks may point before the chunk start; consumers treat those as
+    cross-chunk dependences that are already resolved.
+    """
+    if max_block <= 0:
+        raise ValueError("max_block must be positive")
+    threads = []
+    for t in trace.threads:
+        segments: List[Segment] = []
+        for seg in t.segments:
+            pieces = _split_block(seg.block, max_block)
+            for piece in pieces[:-1]:
+                segments.append(
+                    Segment(block=piece, event=_NONE_EVENT,
+                            epoch=seg.epoch, label=seg.label)
+                )
+            segments.append(
+                Segment(block=pieces[-1], event=seg.event,
+                        epoch=seg.epoch, label=seg.label)
+            )
+        threads.append(ThreadTrace(thread_id=t.thread_id, segments=segments))
+    return WorkloadTrace(name=trace.name, threads=threads, seed=trace.seed)

@@ -1,0 +1,26 @@
+"""Cycle-accounting multicore reference simulator (the Sniper substitute).
+
+Executes concrete workload traces through real mechanisms: a dispatch/
+ROB scoreboard over the actual dependence arrays, a stateful tournament
+branch predictor over the actual outcome stream, set-associative LRU
+caches (private L1-I/L1-D/L2, shared LLC) with invalidation-based
+coherence, and the shared DES scheduler for runtime synchronization.
+
+Its timings are the "golden reference" every RPPM prediction is scored
+against, playing the role Sniper plays in the paper.
+"""
+
+from repro.simulator.caches import Cache, MemorySystem
+from repro.simulator.core import CoreSim
+from repro.simulator.multicore import MulticoreSimulator, simulate
+from repro.simulator.results import SimulationResult, ThreadResult
+
+__all__ = [
+    "Cache",
+    "MemorySystem",
+    "CoreSim",
+    "MulticoreSimulator",
+    "simulate",
+    "SimulationResult",
+    "ThreadResult",
+]

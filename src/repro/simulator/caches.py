@@ -1,0 +1,142 @@
+"""Set-associative LRU caches and the coherent memory system.
+
+Unlike StatStack's statistical fully-associative model, these caches
+have real sets, tags and LRU state — the structural difference between
+the analytical model and its golden reference.  Coherence is
+invalidation-based: a store removes the line from every other core's
+private hierarchy, so a subsequent access there misses (the effect the
+profiler records as an infinite reuse distance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.arch.config import CacheConfig, MulticoreConfig
+
+#: Access outcome levels returned by :meth:`MemorySystem.load`.
+LEVEL_L1 = 0
+LEVEL_L2 = 1
+LEVEL_LLC = 2
+LEVEL_MEM = 3
+
+
+class Cache:
+    """One cache level: per-set tag -> LRU-counter dictionaries."""
+
+    __slots__ = ("name", "config", "sets", "set_mask", "assoc", "counter",
+                 "hits", "misses")
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.name = name
+        self.config = config
+        n_sets = config.sets
+        if n_sets & (n_sets - 1):
+            raise ValueError("set count must be a power of two")
+        self.sets: List[Dict[int, int]] = [dict() for _ in range(n_sets)]
+        self.set_mask = n_sets - 1
+        self.assoc = config.associativity
+        self.counter = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        """Look up ``line``; allocate on miss; returns hit."""
+        self.counter += 1
+        s = self.sets[line & self.set_mask]
+        if line in s:
+            s[line] = self.counter
+            self.hits += 1
+            return True
+        if len(s) >= self.assoc:
+            victim = min(s, key=s.get)
+            del s[victim]
+        s[line] = self.counter
+        self.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        return line in self.sets[line & self.set_mask]
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; returns whether it was present."""
+        s = self.sets[line & self.set_mask]
+        if line in s:
+            del s[line]
+            return True
+        return False
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class MemorySystem:
+    """Private hierarchies + shared LLC + invalidation coherence."""
+
+    def __init__(self, config: MulticoreConfig):
+        self.config = config
+        n = config.cores
+        self.l1i = [Cache(config.l1i, f"l1i{c}") for c in range(n)]
+        self.l1d = [Cache(config.l1d, f"l1d{c}") for c in range(n)]
+        self.l2 = [Cache(config.l2, f"l2{c}") for c in range(n)]
+        self.llc = Cache(config.llc, "llc")
+        #: line -> cores that may hold the line in a private cache.
+        self.owners: Dict[int, Set[int]] = {}
+        self.mem_latency = config.memory_latency_cycles()
+        self.lat_l1d = config.l1d.latency
+        self.lat_l1i = config.l1i.latency
+        self.lat_l2 = config.l2.latency
+        self.lat_llc = config.llc.latency
+        self.invalidations = 0
+
+    def load(self, core: int, line: int) -> Tuple[int, int]:
+        """Data load by ``core``; returns (latency_cycles, level)."""
+        if self.l1d[core].access(line):
+            return self.lat_l1d, LEVEL_L1
+        if self.l2[core].access(line):
+            self._note_owner(core, line)
+            return self.lat_l2, LEVEL_L2
+        self._note_owner(core, line)
+        if self.llc.access(line):
+            return self.lat_llc, LEVEL_LLC
+        return self.lat_llc + self.mem_latency, LEVEL_MEM
+
+    def store(self, core: int, line: int) -> Tuple[int, int]:
+        """Data store by ``core``: write-allocate + invalidate sharers."""
+        owners = self.owners.get(line)
+        if owners:
+            for other in owners:
+                if other != core:
+                    inv = self.l1d[other].invalidate(line)
+                    inv |= self.l2[other].invalidate(line)
+                    if inv:
+                        self.invalidations += 1
+            owners.clear()
+        if self.l1d[core].access(line):
+            self._note_owner(core, line)
+            return self.lat_l1d, LEVEL_L1
+        if self.l2[core].access(line):
+            self._note_owner(core, line)
+            return self.lat_l2, LEVEL_L2
+        self._note_owner(core, line)
+        if self.llc.access(line):
+            return self.lat_llc, LEVEL_LLC
+        return self.lat_llc + self.mem_latency, LEVEL_MEM
+
+    def fetch(self, core: int, line: int) -> int:
+        """Instruction fetch by ``core``; returns latency."""
+        if self.l1i[core].access(line):
+            return self.lat_l1i
+        if self.l2[core].access(line):
+            return self.lat_l2
+        if self.llc.access(line):
+            return self.lat_llc
+        return self.lat_llc + self.mem_latency
+
+    def _note_owner(self, core: int, line: int) -> None:
+        owners = self.owners.get(line)
+        if owners is None:
+            self.owners[line] = {core}
+        else:
+            owners.add(core)

@@ -1,0 +1,29 @@
+"""StatStack: statistical LRU cache modeling from reuse distances.
+
+Implements Eklov & Hagersten's StatStack (reuse-distance to
+stack-distance conversion, fully-associative LRU miss-rate estimation)
+and the multithreaded usage of Ahlman's extension as applied by RPPM:
+per-thread distributions predict private-cache miss rates (with
+coherence invalidations as guaranteed misses), global interleaved
+distributions predict shared-LLC miss rates.
+"""
+
+from repro.statstack.statstack import (
+    expected_stack_distances,
+    miss_rate,
+    miss_ratio_curve,
+)
+from repro.statstack.multithread import (
+    HierarchyMissRates,
+    hierarchy_miss_rates,
+    instruction_miss_rates,
+)
+
+__all__ = [
+    "expected_stack_distances",
+    "miss_rate",
+    "miss_ratio_curve",
+    "HierarchyMissRates",
+    "hierarchy_miss_rates",
+    "instruction_miss_rates",
+]

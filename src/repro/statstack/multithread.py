@@ -1,0 +1,77 @@
+"""Multithreaded StatStack application (Ahlman [1], paper §III-A).
+
+RPPM uses two distributions per thread: the *private* one (per-thread
+counters, invalidations included) drives the private L1-D and L2 miss
+rates; the *global* one (interleaved counter across all threads) drives
+the shared LLC miss rate, capturing constructive sharing (a line
+brought in by a sibling) and destructive competition (a line evicted by
+a sibling) in one statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import MulticoreConfig
+from repro.profiler.profile import DataLocalityStats, EpochProfile
+from repro.statstack.statstack import miss_rate
+
+
+@dataclass(frozen=True)
+class HierarchyMissRates:
+    """Per-access miss probabilities through the data hierarchy.
+
+    All rates are per *memory access* (load or store) issued by the
+    thread, not per instruction.  ``coherence_l1`` is the share of
+    accesses whose private-cache reuse was broken by a remote write —
+    these are guaranteed private misses at any capacity.
+    """
+
+    l1d: float
+    l2: float
+    llc: float
+    coherence_l1: float
+
+    def __post_init__(self) -> None:
+        for name in ("l1d", "l2", "llc", "coherence_l1"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} miss rate out of range: {v}")
+
+
+def hierarchy_miss_rates(
+    data: DataLocalityStats, config: MulticoreConfig
+) -> HierarchyMissRates:
+    """Predict the data-side miss rates of ``config`` for one pool."""
+    if data.n_accesses == 0:
+        return HierarchyMissRates(0.0, 0.0, 0.0, 0.0)
+    m_l1 = miss_rate(data.private, config.l1d.lines)
+    m_l2 = miss_rate(data.private, config.l2.lines)
+    m_llc = miss_rate(data.shared, config.llc.lines)
+    total = data.private.n_total
+    coh = data.private.inval / total if total else 0.0
+    # The hierarchy filters top-down: deeper levels cannot miss more
+    # often (per original access) than shallower ones.  The private and
+    # global distributions are estimated independently, so clamp.
+    m_l2 = min(m_l2, m_l1)
+    m_llc = min(m_llc, m_l2)
+    return HierarchyMissRates(
+        l1d=m_l1, l2=m_l2, llc=m_llc, coherence_l1=min(coh, m_l1)
+    )
+
+
+def instruction_miss_rates(
+    profile: EpochProfile, config: MulticoreConfig
+) -> tuple:
+    """(L1-I, L2, LLC) instruction miss probabilities per *fetch*.
+
+    Instruction reuse is private (code is read-only and replicated);
+    deeper levels use the same per-thread fetch distribution against the
+    larger capacities.
+    """
+    if profile.n_fetches == 0:
+        return (0.0, 0.0, 0.0)
+    m_l1i = miss_rate(profile.ifetch, config.l1i.lines)
+    m_l2 = min(miss_rate(profile.ifetch, config.l2.lines), m_l1i)
+    m_llc = min(miss_rate(profile.ifetch, config.llc.lines), m_l2)
+    return (m_l1i, m_l2, m_llc)

@@ -1,0 +1,56 @@
+"""Branch-outcome stream generation for :class:`BranchSpec`.
+
+Outcome streams are generated vectorized.  The ``periodic`` kind embeds
+a hidden repeating pattern that history-based predictors (and the
+entropy profiler) can learn, with an irreducible i.i.d. noise floor —
+this is what lets the branch-entropy model and the simulated tournament
+predictor disagree in realistic, size-dependent ways.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.spec import BranchSpec
+
+
+def outcomes(
+    spec: BranchSpec,
+    n: int,
+    rng: np.random.Generator,
+    start_offset: int = 0,
+    pattern_rng: np.random.Generator = None,
+) -> np.ndarray:
+    """Generate ``n`` branch outcomes (uint8, 1 = taken).
+
+    ``start_offset`` keeps periodic patterns phase-continuous when one
+    epoch is expanded in several blocks.  ``pattern_rng`` draws the
+    *hidden pattern* of the ``periodic`` kind; callers pass a stable
+    per-code-region generator so every dynamic execution of the same
+    static code carries the same pattern (defaults to ``rng``).
+    """
+    if n == 0:
+        return np.zeros(0, dtype=np.uint8)
+    if spec.kind == "biased":
+        return (rng.random(n) < spec.p_taken).astype(np.uint8)
+    if spec.kind == "loop":
+        # Taken period-1 times, then not-taken once.
+        idx = (start_offset + np.arange(n)) % spec.period
+        return (idx != spec.period - 1).astype(np.uint8)
+    if spec.kind == "periodic":
+        # Hidden pattern: part of the (static) workload, so the profiler
+        # and the simulator see the same learnable structure.
+        if pattern_rng is None:
+            pattern_rng = rng
+        pattern = pattern_rng.integers(0, 2, size=spec.period).astype(
+            np.uint8
+        )
+        if pattern.min() == pattern.max():
+            # Degenerate constant patterns carry no periodic signal;
+            # force at least one transition so the kind behaves as named.
+            pattern[0] ^= 1
+        idx = (start_offset + np.arange(n)) % spec.period
+        base = pattern[idx]
+        flips = (rng.random(n) < spec.noise).astype(np.uint8)
+        return base ^ flips
+    raise ValueError(f"unknown branch kind {spec.kind!r}")

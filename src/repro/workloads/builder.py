@@ -1,0 +1,199 @@
+"""Fluent construction of :class:`WorkloadSpec` programs.
+
+The builder owns the allocation of synchronization-object identities
+(barrier/mutex/condition-variable ids) and enforces the structural rules
+the trace validator checks later (create-before-use, balanced locks,
+END-terminated threads).  All the Rodinia/Parsec workload definitions
+are written against this API.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.workloads.ir import SyncKind, SyncOp
+from repro.workloads.spec import EpochSpec, SegmentPlan, WorkloadSpec
+
+#: A per-thread epoch description: a single spec used by every thread, a
+#: mapping thread-id -> spec, or a callable thread-id -> spec.
+SpecLike = Union[EpochSpec, Dict[int, EpochSpec], Callable[[int], EpochSpec]]
+
+
+def _resolve(spec: SpecLike, thread_id: int) -> EpochSpec:
+    if isinstance(spec, EpochSpec):
+        return spec
+    if isinstance(spec, dict):
+        return spec[thread_id]
+    return spec(thread_id)
+
+
+class WorkloadBuilder:
+    """Incrementally build a multithreaded workload program."""
+
+    def __init__(self, name: str, n_threads: int, seed: int = 0x5EED):
+        if n_threads <= 0:
+            raise ValueError("need at least one thread")
+        self.name = name
+        self.n_threads = n_threads
+        self.seed = seed
+        self._plans: List[List[SegmentPlan]] = [[] for _ in range(n_threads)]
+        self._ids = itertools.count(1)
+        self._finished = False
+
+    @property
+    def main(self) -> int:
+        """Thread id of the main thread."""
+        return 0
+
+    @property
+    def workers(self) -> List[int]:
+        """Thread ids of all non-main threads."""
+        return list(range(1, self.n_threads))
+
+    @property
+    def all_threads(self) -> List[int]:
+        return list(range(self.n_threads))
+
+    def new_id(self) -> int:
+        """Allocate a fresh synchronization-object identity."""
+        return next(self._ids)
+
+    def add(
+        self,
+        thread: int,
+        spec: Optional[EpochSpec],
+        event: SyncOp,
+        label: str = "",
+    ) -> "WorkloadBuilder":
+        """Append one raw segment to ``thread``'s plan."""
+        if self._finished:
+            raise RuntimeError("workload already finished")
+        self._plans[thread].append(SegmentPlan(spec, event, label))
+        return self
+
+    def compute(
+        self, thread: int, spec: EpochSpec, label: str = ""
+    ) -> "WorkloadBuilder":
+        """Computation segment with no synchronization at its end."""
+        return self.add(thread, spec, SyncOp(SyncKind.NONE), label)
+
+    def spawn_workers(
+        self, init_spec: Optional[EpochSpec] = None, label: str = "init"
+    ) -> "WorkloadBuilder":
+        """Main thread runs ``init_spec`` then creates every worker."""
+        first = True
+        for child in self.workers:
+            spec = init_spec if first else None
+            self.add(self.main, spec, SyncOp(SyncKind.CREATE, obj=child),
+                     label if first else "")
+            first = False
+        if first and init_spec is not None:
+            # Single-threaded workload: keep the init work anyway.
+            self.compute(self.main, init_spec, label)
+        return self
+
+    def barrier(
+        self,
+        spec: SpecLike,
+        participants: Optional[Sequence[int]] = None,
+        label: str = "",
+        condvar: bool = False,
+    ) -> "WorkloadBuilder":
+        """All ``participants`` compute then meet at a fresh barrier."""
+        parts = tuple(participants) if participants else tuple(
+            self.all_threads
+        )
+        bid = self.new_id()
+        kind = SyncKind.CV_BARRIER if condvar else SyncKind.BARRIER
+        event = SyncOp(kind, obj=bid, participants=parts)
+        for tid in parts:
+            self.add(tid, _resolve(spec, tid), event, label)
+        return self
+
+    def barrier_phases(
+        self,
+        n_phases: int,
+        spec: SpecLike,
+        participants: Optional[Sequence[int]] = None,
+        label: str = "",
+        condvar: bool = False,
+    ) -> "WorkloadBuilder":
+        """``n_phases`` consecutive barrier-delimited parallel phases."""
+        for phase in range(n_phases):
+            self.barrier(spec, participants,
+                         label=f"{label}[{phase}]" if label else "",
+                         condvar=condvar)
+        return self
+
+    def critical_loop(
+        self,
+        threads: Sequence[int],
+        iterations: int,
+        outer_spec: SpecLike,
+        cs_spec: SpecLike,
+        mutex: Optional[int] = None,
+        label: str = "",
+    ) -> "WorkloadBuilder":
+        """Each thread loops: parallel work, then a critical section.
+
+        All iterations contend on the same mutex (a fresh one unless
+        ``mutex`` is given), producing the lock-dominated behaviour of
+        benchmarks like fluidanimate.
+        """
+        mid = self.new_id() if mutex is None else mutex
+        for _ in range(iterations):
+            for tid in threads:
+                self.add(tid, _resolve(outer_spec, tid),
+                         SyncOp(SyncKind.LOCK, obj=mid), label)
+                self.add(tid, _resolve(cs_spec, tid),
+                         SyncOp(SyncKind.UNLOCK, obj=mid), label)
+        return self
+
+    def produce(
+        self,
+        thread: int,
+        spec: Optional[EpochSpec],
+        condvar: int,
+        items: int = 1,
+        label: str = "",
+    ) -> "WorkloadBuilder":
+        """``thread`` performs work then posts ``items`` to ``condvar``."""
+        return self.add(thread, spec,
+                        SyncOp(SyncKind.PC_PUT, obj=condvar, items=items),
+                        label)
+
+    def consume(
+        self,
+        thread: int,
+        spec: Optional[EpochSpec],
+        condvar: int,
+        label: str = "",
+    ) -> "WorkloadBuilder":
+        """``thread`` performs work then waits for an item on ``condvar``."""
+        return self.add(thread, spec,
+                        SyncOp(SyncKind.PC_GET, obj=condvar), label)
+
+    def join_all(
+        self,
+        final_spec: Optional[EpochSpec] = None,
+        worker_final: Optional[SpecLike] = None,
+        label: str = "finalize",
+    ) -> WorkloadSpec:
+        """Terminate: workers END, main JOINs each then ENDs.
+
+        Returns the finished :class:`WorkloadSpec`.
+        """
+        for tid in self.workers:
+            spec = _resolve(worker_final, tid) if worker_final else None
+            self.add(tid, spec, SyncOp(SyncKind.END))
+        for tid in self.workers:
+            self.add(self.main, None, SyncOp(SyncKind.JOIN, obj=tid))
+        self.add(self.main, final_spec, SyncOp(SyncKind.END), label)
+        self._finished = True
+        return WorkloadSpec(
+            name=self.name,
+            n_threads=self.n_threads,
+            plans=self._plans,
+            seed=self.seed,
+        )

@@ -1,0 +1,96 @@
+"""Reusable kernel ingredients for the benchmark definitions.
+
+Mix/branch/memory-pattern presets with documented performance
+personalities; the Rodinia and Parsec workload definitions compose
+these into benchmark-specific phase structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.spec import BranchSpec, MemPattern
+
+
+def mix(
+    ialu: float = 0.0,
+    imul: float = 0.0,
+    fp: float = 0.0,
+    load: float = 0.0,
+    store: float = 0.0,
+    branch: float = 0.0,
+) -> Dict[str, float]:
+    """Normalized instruction-mix dictionary."""
+    total = ialu + imul + fp + load + store + branch
+    if total <= 0:
+        raise ValueError("mix must have positive total")
+    return {
+        "ialu": ialu / total,
+        "imul": imul / total,
+        "fp": fp / total,
+        "load": load / total,
+        "store": store / total,
+        "branch": branch / total,
+    }
+
+
+#: Floating-point compute kernel (solvers, physics).
+FP_COMPUTE = mix(ialu=0.25, imul=0.02, fp=0.35, load=0.22, store=0.06,
+                 branch=0.10)
+#: Integer/control-heavy kernel (graph traversal, parsing).
+INT_CONTROL = mix(ialu=0.42, imul=0.01, fp=0.02, load=0.26, store=0.07,
+                  branch=0.22)
+#: Memory-streaming kernel (copies, reductions over big arrays).
+MEM_STREAM = mix(ialu=0.30, fp=0.12, load=0.34, store=0.14, branch=0.10)
+#: Balanced general-purpose kernel.
+GENERIC = mix(ialu=0.40, imul=0.02, fp=0.10, load=0.25, store=0.08,
+              branch=0.15)
+
+
+#: Very predictable loop branches (~7% misses on the base predictor).
+BR_EASY = BranchSpec(kind="loop", period=16)
+#: Moderately data-dependent branches (~10% misses).
+BR_MEDIUM = BranchSpec(kind="biased", p_taken=0.92)
+#: Data-dependent, hard-to-predict branches (~20% misses, the upper
+#: end of what the paper's benchmarks exhibit).
+BR_HARD = BranchSpec(kind="biased", p_taken=0.85)
+#: Strongly biased (easy for bimodal even without history, ~4%).
+BR_BIASED = BranchSpec(kind="biased", p_taken=0.97)
+#: Short learnable periodic pattern with a small noise floor (~8%).
+BR_PERIODIC = BranchSpec(kind="periodic", period=4, noise=0.01)
+
+
+def stream(lines: int, region: int = 0, weight: float = 1.0,
+           reuse: int = 4) -> MemPattern:
+    """Private sequential sweep (stencil rows, big-array passes)."""
+    return MemPattern(kind="stream", lines=lines, region=region,
+                      weight=weight, reuse=reuse)
+
+
+def working_set(lines: int, hot_lines: int = 0, hot_frac: float = 0.9,
+                region: int = 0, weight: float = 1.0) -> MemPattern:
+    """Private hot/cold random accesses (tables, tiles)."""
+    return MemPattern(kind="working_set", lines=lines, hot_lines=hot_lines,
+                      hot_frac=hot_frac, region=region, weight=weight)
+
+
+def pointer_chase(lines: int, region: int = 0,
+                  weight: float = 1.0) -> MemPattern:
+    """Private random accesses that the dependence generator chains."""
+    return MemPattern(kind="pointer_chase", lines=lines, region=region,
+                      weight=weight)
+
+
+def shared_read(lines: int, region: int = 0, hot_frac: float = 0.8,
+                weight: float = 1.0) -> MemPattern:
+    """Read-only data shared by all threads (positive interference)."""
+    return MemPattern(kind="working_set", lines=lines, region=region,
+                      shared=True, store_ok=False, hot_frac=hot_frac,
+                      weight=weight)
+
+
+def shared_rw(lines: int, region: int = 0, hot_frac: float = 0.9,
+              weight: float = 1.0) -> MemPattern:
+    """Read-write shared data (coherence invalidation traffic)."""
+    return MemPattern(kind="working_set", lines=lines, region=region,
+                      shared=True, hot_frac=hot_frac, weight=weight)

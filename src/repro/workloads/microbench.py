@@ -1,0 +1,47 @@
+"""The barrier-synchronized micro-benchmark of Table I (paper §II-A).
+
+A loop of N iterations; each iteration does the same amount of work on
+every thread and ends at a barrier.  The paper uses it to demonstrate
+that *unbiased* per-epoch prediction errors accumulate into a biased
+overall over-estimation, because each inter-barrier epoch's length is
+the maximum over threads.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.builder import WorkloadBuilder
+from repro.workloads.spec import BranchSpec, EpochSpec, MemPattern, WorkloadSpec
+
+
+def _iteration_spec(work: int) -> EpochSpec:
+    return EpochSpec(
+        n=work,
+        mean_dep=4.0,
+        mem=(MemPattern(kind="working_set", lines=64, hot_frac=1.0,
+                        hot_lines=64),),
+        branch=BranchSpec(kind="loop", period=16),
+        code_lines=16,
+        code_region=0,
+    )
+
+
+def barrier_loop_workload(
+    threads: int = 4,
+    iterations: int = 100,
+    work_per_iteration: int = 400,
+    seed: int = 0xB0B0,
+) -> WorkloadSpec:
+    """The Table I micro-benchmark, scaled.
+
+    Every thread executes ``iterations`` identical epochs of
+    ``work_per_iteration`` micro-ops, with a barrier after each.
+    """
+    if threads < 1:
+        raise ValueError("need at least one thread")
+    builder = WorkloadBuilder(
+        f"barrier_loop_t{threads}", threads, seed=seed
+    )
+    spec = _iteration_spec(work_per_iteration)
+    builder.spawn_workers()
+    builder.barrier_phases(iterations, spec, label="loop")
+    return builder.join_all()

@@ -1,0 +1,237 @@
+"""Statistical workload specifications.
+
+A :class:`WorkloadSpec` is the microarchitecture-independent *source* of
+a synthetic workload: per-thread sequences of :class:`SegmentPlan`
+(an :class:`EpochSpec` describing the instruction stream of one
+inter-synchronization epoch, plus the :class:`~repro.workloads.ir.SyncOp`
+ending it).  :mod:`repro.workloads.generator` expands a spec into a
+concrete :class:`~repro.workloads.ir.WorkloadTrace` deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.ir import OP_CODES, SyncOp
+
+#: Default instruction mix: a generic integer-dominated workload.
+DEFAULT_MIX: Dict[str, float] = {
+    "ialu": 0.40,
+    "imul": 0.02,
+    "fp": 0.10,
+    "load": 0.25,
+    "store": 0.08,
+    "branch": 0.15,
+}
+
+
+@dataclass(frozen=True)
+class MemPattern:
+    """One component of an epoch's memory-access behaviour.
+
+    Patterns are mixed by ``weight``: each dynamic memory access draws a
+    pattern with probability proportional to the weights, then takes the
+    next address from that pattern's stream.
+
+    Kinds
+    -----
+    ``stream``
+        Sequential sweep over ``lines`` cache lines with ``stride``,
+        touching each line ``reuse`` times in a row (spatial locality of
+        word-granularity accesses within a line).
+    ``working_set``
+        Random accesses: probability ``hot_frac`` uniform over the first
+        ``hot_lines`` lines, otherwise uniform over the remainder.
+    ``pointer_chase``
+        Uniform random over ``lines``; the *dependence* side of the
+        generator additionally chains these loads (see
+        :attr:`EpochSpec.load_chain_frac`).
+    """
+
+    kind: str
+    lines: int
+    weight: float = 1.0
+    region: int = 0
+    #: Shared patterns resolve to the same address region for all
+    #: threads; private patterns get per-thread regions.
+    shared: bool = False
+    #: Whether store micro-ops may be assigned to this pattern.  Shared
+    #: read-only data (positive interference without coherence traffic)
+    #: sets this False.
+    store_ok: bool = True
+    hot_frac: float = 0.9
+    hot_lines: int = 0
+    stride: int = 1
+    reuse: int = 4
+
+    _KINDS = ("stream", "working_set", "pointer_chase")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown pattern kind {self.kind!r}")
+        if self.lines <= 0:
+            raise ValueError("pattern footprint must be positive")
+        if self.weight <= 0:
+            raise ValueError("pattern weight must be positive")
+        if not 0.0 <= self.hot_frac <= 1.0:
+            raise ValueError("hot_frac must be a probability")
+        if self.hot_lines < 0 or self.hot_lines > self.lines:
+            raise ValueError("hot_lines must be within the footprint")
+        if self.stride <= 0 or self.reuse <= 0:
+            raise ValueError("stride and reuse must be positive")
+
+    def effective_hot_lines(self) -> int:
+        """Hot-subset size; defaults to 1/16 of the footprint."""
+        if self.hot_lines:
+            return self.hot_lines
+        return max(1, self.lines // 16)
+
+
+@dataclass(frozen=True)
+class BranchSpec:
+    """Branch-outcome behaviour of an epoch.
+
+    Kinds
+    -----
+    ``biased``
+        i.i.d. outcomes, taken with probability ``p_taken``.
+    ``periodic``
+        A hidden random bit-pattern of length ``period`` repeated
+        forever, with each outcome independently flipped with
+        probability ``noise``.  History-based predictors with enough
+        history learn the pattern; the ``noise`` floor is irreducible.
+    ``loop``
+        Backward-branch idiom: taken ``period - 1`` times, then
+        not-taken once (noise-free periodic special case).
+    """
+
+    kind: str = "biased"
+    p_taken: float = 0.6
+    period: int = 8
+    noise: float = 0.02
+
+    _KINDS = ("biased", "periodic", "loop")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown branch kind {self.kind!r}")
+        if not 0.0 <= self.p_taken <= 1.0:
+            raise ValueError("p_taken must be a probability")
+        if self.period < 2:
+            raise ValueError("period must be at least 2")
+        if not 0.0 <= self.noise <= 0.5:
+            raise ValueError("noise must be in [0, 0.5]")
+
+
+@dataclass(frozen=True)
+class EpochSpec:
+    """Statistical description of one thread's inter-sync epoch.
+
+    Parameters
+    ----------
+    n:
+        Dynamic micro-op count of the epoch.
+    mix:
+        Fraction of micro-ops per functional-unit class; must sum to 1.
+    mean_dep:
+        Mean backward dependence distance (geometric); larger values
+        mean longer independent chains, i.e. more ILP.
+    load_chain_frac:
+        Fraction of loads whose producer is the previous load
+        (pointer chasing) — throttles memory-level parallelism.
+    mem:
+        Memory-pattern mixture (see :class:`MemPattern`).
+    branch:
+        Branch-outcome behaviour.
+    code_lines:
+        Instruction-cache footprint of the epoch's loop body, in lines.
+    instrs_per_line:
+        Micro-ops per instruction-cache line (~4 for x86-64).
+    code_region:
+        Identity of the code region; epochs sharing a region share
+        instruction-cache lines (worker threads running the same
+        function).
+    """
+
+    n: int
+    mix: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    mean_dep: float = 3.0
+    load_chain_frac: float = 0.0
+    mem: Tuple[MemPattern, ...] = (
+        MemPattern(kind="working_set", lines=256),
+    )
+    branch: BranchSpec = field(default_factory=BranchSpec)
+    code_lines: int = 64
+    instrs_per_line: int = 4
+    code_region: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("instruction count must be non-negative")
+        unknown = set(self.mix) - set(OP_CODES)
+        if unknown:
+            raise ValueError(f"unknown micro-op classes {sorted(unknown)}")
+        total = sum(self.mix.values())
+        if self.n > 0 and abs(total - 1.0) > 1e-6:
+            raise ValueError(f"mix must sum to 1 (got {total})")
+        if self.mean_dep < 1.0:
+            raise ValueError("mean dependence distance must be >= 1")
+        if not 0.0 <= self.load_chain_frac <= 1.0:
+            raise ValueError("load_chain_frac must be a probability")
+        if not self.mem:
+            raise ValueError("at least one memory pattern is required")
+        if self.code_lines <= 0 or self.instrs_per_line <= 0:
+            raise ValueError("code footprint must be positive")
+        if self.n > 0 and self.mix.get("load", 0.0) + self.mix.get(
+            "store", 0.0
+        ) > 0 and not any(p.store_ok for p in self.mem):
+            if self.mix.get("store", 0.0) > 0:
+                raise ValueError(
+                    "mix contains stores but no pattern accepts stores"
+                )
+
+    def scaled(self, factor: float) -> "EpochSpec":
+        """Copy with the instruction count scaled by ``factor``.
+
+        Used to introduce per-thread load imbalance without changing any
+        other characteristic.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return replace(self, n=int(round(self.n * factor)))
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """One planned segment: an optional epoch spec plus its sync event."""
+
+    spec: Optional[EpochSpec]
+    event: SyncOp
+    label: str = ""
+
+
+@dataclass
+class WorkloadSpec:
+    """A complete multithreaded workload specification."""
+
+    name: str
+    n_threads: int
+    plans: List[List[SegmentPlan]]
+    seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.n_threads <= 0:
+            raise ValueError("need at least one thread")
+        if len(self.plans) != self.n_threads:
+            raise ValueError("one plan list per thread required")
+
+    @property
+    def n_instructions(self) -> int:
+        """Total planned dynamic micro-op count."""
+        return sum(
+            plan.spec.n
+            for thread_plans in self.plans
+            for plan in thread_plans
+            if plan.spec is not None
+        )

@@ -1,0 +1,93 @@
+"""Shared fixtures: configurations, small workloads, cached profiles.
+
+Profiling and simulation are the expensive steps, so anything reused
+across test modules is session-scoped.  Workload sizes here are
+deliberately small — accuracy-bound assertions live in
+``tests/integration`` and use full-size workloads through the shared
+experiment cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import table_iv_config
+from repro.experiments.suites import RunCache
+from repro.profiler.profiler import profile_workload
+from repro.workloads import kernels as k
+from repro.workloads.builder import WorkloadBuilder
+from repro.workloads.generator import expand
+from repro.workloads.spec import EpochSpec, WorkloadSpec
+
+
+@pytest.fixture(scope="session")
+def base_config():
+    return table_iv_config("base")
+
+@pytest.fixture(scope="session")
+def smallest_config():
+    return table_iv_config("smallest")
+
+@pytest.fixture(scope="session")
+def biggest_config():
+    return table_iv_config("biggest")
+
+
+def make_epoch(
+    n: int = 2000,
+    mix=None,
+    mean_dep: float = 3.0,
+    branch=k.BR_BIASED,
+    mem=None,
+    code_region: int = 1,
+    **kwargs,
+) -> EpochSpec:
+    """A small epoch spec with friendly defaults for unit tests."""
+    return EpochSpec(
+        n=n,
+        mix=dict(mix or k.GENERIC),
+        mean_dep=mean_dep,
+        branch=branch,
+        mem=mem or (k.working_set(256, hot_lines=256, hot_frac=1.0),),
+        code_region=code_region,
+        **kwargs,
+    )
+
+
+def single_thread_workload(spec: EpochSpec, seed: int = 11) -> WorkloadSpec:
+    """One thread running one epoch then ending."""
+    b = WorkloadBuilder("test.single", 1, seed=seed)
+    b.compute(0, spec)
+    return b.join_all()
+
+
+def barrier_workload(
+    threads: int = 4, phases: int = 3, n: int = 1500, seed: int = 21
+) -> WorkloadSpec:
+    """Balanced barrier-phase workload used across test modules."""
+    b = WorkloadBuilder("test.barrier", threads, seed=seed)
+    b.spawn_workers(make_epoch(800, code_region=0))
+    b.barrier_phases(phases, make_epoch(n))
+    return b.join_all(final_spec=make_epoch(400, code_region=2))
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    return expand(barrier_workload())
+
+
+@pytest.fixture(scope="session")
+def small_profile(small_trace):
+    return profile_workload(small_trace)
+
+
+@pytest.fixture(scope="session")
+def run_cache():
+    """Shared full-scale experiment cache (profiles + simulations)."""
+    return RunCache()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,90 @@
+"""Integration tests for the paper's case studies (Tables V, Fig. 6)."""
+
+import pytest
+
+from repro.experiments.bottlegraphs import (
+    expected_balance_class,
+    run_figure6,
+)
+from repro.experiments.design_space import run_table5
+from repro.experiments.suites import BenchmarkRef
+
+
+@pytest.fixture(scope="module")
+def table5(run_cache):
+    # A representative Rodinia subset keeps runtime moderate while
+    # covering compute-bound, memory-bound and DSE-hard personalities.
+    subset = [
+        BenchmarkRef("rodinia", name)
+        for name in ("backprop", "cfd", "hotspot", "lavaMD", "nw",
+                     "pathfinder", "streamcluster")
+    ]
+    return run_table5(benchmarks=subset, cache=run_cache)
+
+
+class TestDesignSpaceExploration:
+    def test_zero_bound_deficiency_small_on_average(self, table5):
+        """Paper: average deficiency 1.95% at bound 0."""
+        assert table5.average_deficiency(0.0) < 0.08
+
+    def test_relaxed_bound_reduces_deficiency(self, table5):
+        assert table5.average_deficiency(0.05) <= (
+            table5.average_deficiency(0.0) + 1e-12
+        )
+
+    def test_five_percent_bound_nearly_optimal(self, table5):
+        """Paper: 0.12% average deficiency at the 5% bound."""
+        assert table5.average_deficiency(0.05) < 0.03
+
+    def test_most_benchmarks_find_a_near_optimum(self, table5):
+        """Paper Table V: 13/16 exact at bound 0, the rest 2-19% off.
+
+        Require at least half of the subset within 2% of the true
+        optimum at bound 0.
+        """
+        near = sum(
+            1 for row in table5.rows
+            if row.cells[0.0].deficiency < 0.02
+        )
+        assert near >= len(table5.rows) // 2 + 1
+
+    def test_no_catastrophic_choice(self, table5):
+        """Paper's worst bound-0 deficiency is 19.1% (streamcluster)."""
+        for row in table5.rows:
+            assert row.cells[0.0].deficiency < 0.20, row.benchmark
+
+
+@pytest.fixture(scope="module")
+def figure6(run_cache):
+    return run_figure6(cache=run_cache)
+
+
+class TestBottlegraphCaseStudy:
+    def test_rppm_reproduces_simulated_classes(self, figure6):
+        """The paper's claim: RPPM's bottlegraphs match simulation."""
+        assert figure6.agreement_rate() >= 0.8
+
+    def test_height_errors_small(self, figure6):
+        for pair in figure6.pairs:
+            assert pair.height_error() < 0.2, pair.benchmark
+
+    def test_balanced_class_examples(self, figure6):
+        for name in ("swaptions", "raytrace", "blackscholes"):
+            assert figure6.pair(name).classify() == "balanced", name
+
+    def test_freqmine_main_is_bottleneck(self, figure6):
+        pair = figure6.pair("freqmine")
+        assert pair.simulated.bottleneck_thread() == 0
+        assert pair.predicted.bottleneck_thread() == 0
+
+    def test_imbalanced_class_capped_parallelism(self, figure6):
+        pair = figure6.pair("streamcluster")
+        sim_widths = pair.simulated.widths[1:]
+        assert max(sim_widths) < 3.6
+
+    def test_paper_class_agreement_is_majority(self, figure6):
+        agree = sum(
+            1 for p in figure6.pairs
+            if p.classify() == expected_balance_class(p.benchmark)
+        )
+        assert agree >= 7  # fluidanimate/vips sit at class boundaries

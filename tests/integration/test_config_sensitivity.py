@@ -1,0 +1,215 @@
+"""Configuration-sensitivity validation beyond the Table IV points.
+
+The paper claims one profile predicts "a wide range of multicore
+architectures while varying clock frequency, pipeline width and depth,
+window and buffer sizes, cache sizes, cache hierarchies, branch
+predictor, etc." (§III).  These tests vary one parameter at a time on
+custom (non-Table-IV) machines and assert the model moves in the same
+direction as the reference simulator.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+)
+from repro.arch.presets import table_iv_config
+from repro.core.rppm import predict
+from repro.experiments.suites import BenchmarkRef
+from repro.simulator.multicore import simulate
+
+
+def with_core(base, **core_overrides):
+    core = dataclasses.replace(base.core, **core_overrides)
+    return base.with_core(core, name="custom")
+
+
+def with_caches(base, **cache_overrides):
+    return dataclasses.replace(base, name="custom", **cache_overrides)
+
+
+@pytest.fixture(scope="module")
+def memory_ref(run_cache):
+    """A memory-sensitive benchmark (streaming, high MPKI)."""
+    return BenchmarkRef("rodinia", "backprop")
+
+
+@pytest.fixture(scope="module")
+def branchy_ref(run_cache):
+    """A branchy benchmark (INT control, hard branches)."""
+    return BenchmarkRef("rodinia", "particlefilter")
+
+
+@pytest.fixture(scope="module")
+def cache_ref(run_cache):
+    """An L2-resident benchmark (sensitive to mid-level capacity)."""
+    return BenchmarkRef("rodinia", "cfd")
+
+
+def both_cycles(ref, config, run_cache):
+    pred = predict(run_cache.profile(ref), config).total_cycles
+    sim = simulate(run_cache.trace(ref), config).total_cycles
+    return pred, sim
+
+
+class TestCacheSizeSensitivity:
+    def test_shrinking_llc_slows_memory_benchmark(self, memory_ref,
+                                                  run_cache):
+        base = table_iv_config("base")
+        small_llc = with_caches(
+            base,
+            llc=CacheConfig(size_bytes=512 * 1024, associativity=16,
+                            latency=30, shared=True),
+        )
+        p_base, s_base = both_cycles(memory_ref, base, run_cache)
+        p_small, s_small = both_cycles(memory_ref, small_llc, run_cache)
+        assert s_small >= s_base          # simulator agrees it's worse
+        assert p_small >= p_base * 0.98   # model moves the same way
+
+    def test_growing_l2_helps_an_l2_overflowing_working_set(self):
+        """A hot set of 8k lines overflows the 4k-line base L2 but
+        fits a 1 MiB one: both simulator and model must speed up."""
+        from repro.profiler.profiler import profile_workload
+        from repro.workloads.generator import expand
+        from tests.conftest import make_epoch, single_thread_workload
+        from repro.workloads import kernels as k
+        spec = make_epoch(
+            40_000, mix=k.mix(ialu=0.4, load=0.5, store=0.1),
+            mem=(k.working_set(8_000, hot_lines=8_000, hot_frac=1.0),),
+        )
+        trace = expand(single_thread_workload(spec))
+        profile = profile_workload(trace)
+        base = table_iv_config("base")
+        big_l2 = with_caches(
+            base,
+            l2=CacheConfig(size_bytes=1024 * 1024, associativity=8,
+                           latency=10),
+        )
+        p_base = predict(profile, base).total_cycles
+        p_big = predict(profile, big_l2).total_cycles
+        s_base = simulate(trace, base).total_cycles
+        s_big = simulate(trace, big_l2).total_cycles
+        assert s_big < s_base * 0.95
+        assert p_big < p_base * 0.95
+
+    def test_l2_growth_is_neutral_when_data_already_fits(
+        self, cache_ref, run_cache
+    ):
+        """cfd's hot set fits the base L2: neither the simulator nor
+        the model should move."""
+        base = table_iv_config("base")
+        big_l2 = with_caches(
+            base,
+            l2=CacheConfig(size_bytes=1024 * 1024, associativity=8,
+                           latency=10),
+        )
+        p_base, s_base = both_cycles(cache_ref, base, run_cache)
+        p_big, s_big = both_cycles(cache_ref, big_l2, run_cache)
+        assert s_big == pytest.approx(s_base, rel=0.03)
+        assert p_big == pytest.approx(p_base, rel=0.03)
+
+    def test_model_tracks_simulation_on_custom_hierarchy(
+        self, cache_ref, run_cache
+    ):
+        base = table_iv_config("base")
+        custom = with_caches(
+            base,
+            l1d=CacheConfig(size_bytes=64 * 1024, associativity=8,
+                            latency=4),
+            l2=CacheConfig(size_bytes=512 * 1024, associativity=8,
+                           latency=12),
+            llc=CacheConfig(size_bytes=4 * 1024 * 1024,
+                            associativity=16, latency=28, shared=True),
+        )
+        pred, sim = both_cycles(cache_ref, custom, run_cache)
+        assert pred == pytest.approx(sim, rel=0.30)
+
+
+class TestBranchPredictorSensitivity:
+    def test_prediction_monotone_in_predictor_size(self, branchy_ref,
+                                                   run_cache):
+        """The model never predicts a smaller table to be faster.
+
+        (The simulator itself is nearly insensitive on this substrate:
+        our biased branch sites all share the taken direction, so table
+        collisions are harmless — the model's balls-in-bins aliasing
+        term is conservatively pessimistic about them.)
+        """
+        base = table_iv_config("base")
+        profile = run_cache.profile(branchy_ref)
+        sizes = (256, 1024, 4096, 16 * 1024)
+        cycles = []
+        for size in sizes:
+            cfg = dataclasses.replace(
+                base, name=f"bp{size}",
+                branch_predictor=BranchPredictorConfig(size_bytes=size),
+            )
+            cycles.append(predict(profile, cfg).total_cycles)
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_huge_predictor_never_hurts_prediction(self, branchy_ref,
+                                                   run_cache):
+        base = table_iv_config("base")
+        huge = dataclasses.replace(
+            base, name="hugebp",
+            branch_predictor=BranchPredictorConfig(size_bytes=64 * 1024),
+        )
+        p_base, _ = both_cycles(branchy_ref, base, run_cache)
+        p_huge, _ = both_cycles(branchy_ref, huge, run_cache)
+        assert p_huge <= p_base * 1.02
+
+
+class TestWindowSensitivity:
+    def test_bigger_rob_helps_memory_benchmark(self, memory_ref,
+                                               run_cache):
+        base = table_iv_config("base")
+        big_rob = with_core(base, rob_size=512, issue_queue_size=256)
+        p_base, s_base = both_cycles(memory_ref, base, run_cache)
+        p_big, s_big = both_cycles(memory_ref, big_rob, run_cache)
+        assert s_big < s_base
+        assert p_big < p_base
+
+    def test_tiny_rob_hurts_everywhere(self, memory_ref, run_cache):
+        base = table_iv_config("base")
+        tiny_rob = with_core(base, rob_size=16, issue_queue_size=8)
+        p_base, s_base = both_cycles(memory_ref, base, run_cache)
+        p_tiny, s_tiny = both_cycles(memory_ref, tiny_rob, run_cache)
+        assert s_tiny > s_base
+        assert p_tiny > p_base
+
+
+class TestFrequencySensitivity:
+    def test_higher_clock_raises_memory_cycles(self, memory_ref,
+                                               run_cache):
+        """At a higher clock, memory costs more *cycles*: the model's
+        CPI must grow exactly as the simulator's does."""
+        base = table_iv_config("base")          # 2.5 GHz
+        fast = with_core(base, frequency_ghz=5.0)
+        p_base, s_base = both_cycles(memory_ref, base, run_cache)
+        p_fast, s_fast = both_cycles(memory_ref, fast, run_cache)
+        assert s_fast > s_base
+        assert p_fast > p_base
+
+    def test_wall_clock_still_improves(self, memory_ref, run_cache):
+        """Cycles grow but seconds shrink (partially memory-bound)."""
+        base = table_iv_config("base")
+        fast = with_core(base, frequency_ghz=5.0)
+        _, s_base = both_cycles(memory_ref, base, run_cache)
+        _, s_fast = both_cycles(memory_ref, fast, run_cache)
+        assert fast.cycles_to_seconds(s_fast) < base.cycles_to_seconds(
+            s_base
+        )
+
+
+class TestMSHRSensitivity:
+    def test_single_mshr_serializes_misses(self, memory_ref, run_cache):
+        base = table_iv_config("base")
+        one_mshr = with_core(base, mshr_entries=1)
+        p_base, s_base = both_cycles(memory_ref, base, run_cache)
+        p_one, s_one = both_cycles(memory_ref, one_mshr, run_cache)
+        assert s_one > s_base
+        assert p_one > p_base

@@ -1,0 +1,116 @@
+"""Unit tests for the ablation profile transforms."""
+
+import pytest
+
+from repro.core.rppm import predict
+from repro.experiments.ablations import (
+    ABLATIONS,
+    run_ablations,
+    strip_coherence,
+    strip_global_reuse,
+)
+from repro.experiments.suites import BenchmarkRef, RunCache
+from repro.profiler.profiler import profile_workload
+from repro.workloads import kernels as k
+from repro.workloads.builder import WorkloadBuilder
+from repro.workloads.generator import expand
+
+from tests.conftest import make_epoch
+
+
+@pytest.fixture(scope="module")
+def coherence_profile():
+    """A profile with real invalidation records."""
+    b = WorkloadBuilder("coherent", 4, seed=17)
+    spec = make_epoch(
+        6000, mix=k.mix(ialu=0.4, load=0.4, store=0.2),
+        mem=(k.shared_rw(48, region=0, hot_frac=1.0),),
+    )
+    b.spawn_workers()
+    b.barrier(spec)
+    return profile_workload(expand(b.join_all()))
+
+
+class TestStripCoherence:
+    def test_removes_all_invalidations(self, coherence_profile):
+        stripped = strip_coherence(coherence_profile)
+        for t in stripped.threads:
+            for pool in t.pools.values():
+                assert pool.data.private.inval == 0
+
+    def test_preserves_access_totals(self, coherence_profile):
+        stripped = strip_coherence(coherence_profile)
+        for t_old, t_new in zip(coherence_profile.threads,
+                                stripped.threads):
+            for key in t_old.pools:
+                old = t_old.pools[key].data.private
+                new = t_new.pools[key].data.private
+                assert new.n_total == old.n_total
+
+    def test_original_untouched(self, coherence_profile):
+        before = sum(
+            pool.data.private.inval
+            for t in coherence_profile.threads
+            for pool in t.pools.values()
+        )
+        assert before > 0
+        strip_coherence(coherence_profile)
+        after = sum(
+            pool.data.private.inval
+            for t in coherence_profile.threads
+            for pool in t.pools.values()
+        )
+        assert after == before
+
+    def test_stripped_profile_predicts_faster_or_equal(
+        self, coherence_profile, base_config
+    ):
+        """Invalidations are guaranteed misses; removing them can only
+        lower (or keep) the prediction."""
+        full = predict(coherence_profile, base_config).total_cycles
+        bare = predict(
+            strip_coherence(coherence_profile), base_config
+        ).total_cycles
+        assert bare <= full * 1.001
+
+
+class TestStripGlobalReuse:
+    def test_replaces_shared_with_scaled_private(self, coherence_profile):
+        stripped = strip_global_reuse(coherence_profile)
+        for t in stripped.threads:
+            for pool in t.pools.values():
+                # The naive guess scales private distances by the
+                # thread count — same mass, longer distances.
+                assert pool.data.shared.n_finite == (
+                    pool.data.private.n_finite
+                )
+
+    def test_original_untouched(self, coherence_profile, base_config):
+        before = predict(coherence_profile, base_config).total_cycles
+        strip_global_reuse(coherence_profile)
+        after = predict(coherence_profile, base_config).total_cycles
+        assert after == before
+
+
+class TestRunAblations:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cache = RunCache()
+        return run_ablations(
+            [BenchmarkRef("rodinia", "lavaMD"),
+             BenchmarkRef("parsec", "canneal")],
+            cache=cache,
+        )
+
+    def test_all_variants_present(self, result):
+        for row in result.rows:
+            assert set(row.errors) == set(ABLATIONS)
+
+    def test_degradation_of_full_is_zero(self, result):
+        assert result.degradation("full") == 0.0
+
+    def test_average_over_rows(self, result):
+        manual = sum(
+            abs(r.errors["full"]) for r in result.rows
+        ) / len(result.rows)
+        assert result.average_abs_error("full") == pytest.approx(manual)

@@ -1,0 +1,171 @@
+"""Unit tests for the architecture configuration data model."""
+
+import math
+
+import pytest
+
+from repro.arch.config import (
+    LINE_SIZE,
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    MulticoreConfig,
+)
+from repro.arch.presets import TABLE_IV, design_space, table_iv_config
+
+
+class TestCacheConfig:
+    def test_lines_is_capacity_over_line_size(self):
+        cache = CacheConfig(size_bytes=32 * 1024, associativity=4, latency=3)
+        assert cache.lines == 32 * 1024 // LINE_SIZE
+
+    def test_sets_is_lines_over_ways(self):
+        cache = CacheConfig(size_bytes=32 * 1024, associativity=4, latency=3)
+        assert cache.sets == cache.lines // 4
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, associativity=1, latency=1)
+
+    def test_rejects_non_positive_associativity(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, associativity=0, latency=1)
+
+    def test_rejects_fractional_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=3, latency=1)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, associativity=1, latency=-1)
+
+    def test_shared_flag_defaults_private(self):
+        cache = CacheConfig(size_bytes=1024, associativity=1, latency=1)
+        assert not cache.shared
+
+
+class TestBranchPredictorConfig:
+    def test_entries_are_a_power_of_two(self):
+        cfg = BranchPredictorConfig(size_bytes=4096)
+        entries = cfg.entries_per_table
+        assert entries & (entries - 1) == 0
+
+    def test_entries_fit_the_budget(self):
+        cfg = BranchPredictorConfig(size_bytes=4096)
+        total_bits = 3 * cfg.entries_per_table * cfg.counter_bits
+        assert total_bits <= 4096 * 8
+
+    def test_bigger_budget_never_shrinks_tables(self):
+        small = BranchPredictorConfig(size_bytes=1024).entries_per_table
+        big = BranchPredictorConfig(size_bytes=8192).entries_per_table
+        assert big > small
+
+    def test_rejects_bad_counter_bits(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(counter_bits=0)
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(counter_bits=5)
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(history_bits=0)
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(history_bits=25)
+
+
+class TestCoreConfig:
+    def test_default_is_valid(self):
+        core = CoreConfig()
+        assert core.dispatch_width == 4
+        assert core.rob_size >= core.dispatch_width
+
+    def test_rejects_rob_smaller_than_width(self):
+        with pytest.raises(ValueError):
+            CoreConfig(dispatch_width=8, rob_size=4)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            CoreConfig(frequency_ghz=0.0)
+
+    def test_rejects_non_positive_mshrs(self):
+        with pytest.raises(ValueError):
+            CoreConfig(mshr_entries=0)
+
+    def test_hashable(self):
+        assert hash(CoreConfig()) == hash(CoreConfig())
+
+    def test_distinct_configs_hash_differently(self):
+        assert hash(CoreConfig(rob_size=128)) != hash(
+            CoreConfig(rob_size=256)
+        )
+
+
+class TestTableIVPresets:
+    def test_five_design_points(self):
+        assert len(TABLE_IV) == 5
+        assert TABLE_IV == [
+            "smallest", "small", "base", "big", "biggest",
+        ]
+
+    @pytest.mark.parametrize("point", TABLE_IV)
+    def test_point_builds(self, point):
+        cfg = table_iv_config(point)
+        assert cfg.name == point
+        assert cfg.cores == 4
+
+    def test_unknown_point_raises(self):
+        with pytest.raises(ValueError, match="unknown design point"):
+            table_iv_config("huge")
+
+    def test_constant_peak_throughput(self):
+        """All five points deliver ~10 G ops/s (paper §VI-A)."""
+        for cfg in design_space():
+            peak = cfg.core.dispatch_width * cfg.core.frequency_ghz
+            assert peak == pytest.approx(10.0, rel=0.01)
+
+    def test_resources_scale_with_width(self):
+        widths = [c.core.dispatch_width for c in design_space()]
+        robs = [c.core.rob_size for c in design_space()]
+        iqs = [c.core.issue_queue_size for c in design_space()]
+        assert widths == sorted(widths)
+        assert robs == sorted(robs)
+        assert iqs == sorted(iqs)
+
+    def test_paper_rob_sizes(self):
+        robs = [c.core.rob_size for c in design_space()]
+        assert robs == [32, 72, 128, 200, 288]
+
+    def test_cache_hierarchy_identical_across_points(self):
+        caches = [
+            (c.l1i, c.l1d, c.l2, c.llc) for c in design_space()
+        ]
+        assert all(c == caches[0] for c in caches)
+
+    def test_llc_is_shared_others_private(self):
+        cfg = table_iv_config("base")
+        assert cfg.llc.shared
+        assert not cfg.l1d.shared
+        assert not cfg.l2.shared
+
+    def test_paper_cache_sizes(self):
+        cfg = table_iv_config("base")
+        assert cfg.l1i.size_bytes == 32 * 1024
+        assert cfg.l1d.size_bytes == 32 * 1024
+        assert cfg.l2.size_bytes == 256 * 1024
+        assert cfg.llc.size_bytes == 8 * 1024 * 1024
+
+    def test_memory_latency_in_cycles_scales_with_clock(self):
+        fast = table_iv_config("smallest")   # 5 GHz
+        slow = table_iv_config("biggest")    # 1.66 GHz
+        assert (
+            fast.memory_latency_cycles() > slow.memory_latency_cycles()
+        )
+
+    def test_cycles_to_seconds(self):
+        cfg = table_iv_config("base")  # 2.5 GHz
+        assert cfg.cycles_to_seconds(2.5e9) == pytest.approx(1.0)
+
+    def test_core_count_override(self):
+        cfg = table_iv_config("base", cores=8)
+        assert cfg.cores == 8

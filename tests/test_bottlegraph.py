@@ -1,0 +1,116 @@
+"""Unit tests for bottlegraph construction."""
+
+import pytest
+
+from repro.core.bottlegraph import Bottlegraph, bottlegraph_from_timeline
+from repro.runtime.timeline import Timeline
+
+
+def timeline_with(active_by_thread):
+    t = Timeline(n_threads=len(active_by_thread))
+    for tid, intervals in enumerate(active_by_thread):
+        for start, end in intervals:
+            t.record_active(tid, start, end)
+    return t
+
+
+class TestFromTimeline:
+    def test_single_thread(self):
+        g = bottlegraph_from_timeline(timeline_with([[(0, 10)]]))
+        assert g.heights == [10.0]
+        assert g.widths == [1.0]
+        assert g.total == 10.0
+
+    def test_two_fully_parallel_threads(self):
+        g = bottlegraph_from_timeline(
+            timeline_with([[(0, 10)], [(0, 10)]])
+        )
+        assert g.heights == [5.0, 5.0]
+        assert g.widths == [2.0, 2.0]
+        assert g.total == 10.0
+
+    def test_sequential_thread_has_width_one(self):
+        g = bottlegraph_from_timeline(
+            timeline_with([[(0, 10)], [(10, 20)]])
+        )
+        assert g.widths == [1.0, 1.0]
+        assert g.heights == [10.0, 10.0]
+
+    def test_heights_sum_to_wall_clock(self):
+        g = bottlegraph_from_timeline(
+            timeline_with([[(0, 10)], [(5, 15)], [(5, 10)]])
+        )
+        assert g.total == pytest.approx(15.0)
+        assert sum(g.heights) == pytest.approx(15.0)
+
+    def test_mixed_parallelism_width(self):
+        # Thread 0 runs 0-10: alone for 5, with thread 1 for 5.
+        g = bottlegraph_from_timeline(
+            timeline_with([[(0, 10)], [(5, 10)]])
+        )
+        # Share: 5 alone + 2.5 shared = 7.5; active 10 -> width 4/3.
+        assert g.heights[0] == pytest.approx(7.5)
+        assert g.widths[0] == pytest.approx(10 / 7.5)
+        assert g.widths[1] == pytest.approx(2.0)
+
+    def test_empty_timeline(self):
+        g = bottlegraph_from_timeline(Timeline(n_threads=3))
+        assert g.total == 0.0
+        assert g.heights == [0.0, 0.0, 0.0]
+
+    def test_disjoint_intervals_same_thread(self):
+        g = bottlegraph_from_timeline(
+            timeline_with([[(0, 5), (10, 15)], [(0, 15)]])
+        )
+        assert sum(g.heights) == pytest.approx(15.0)
+
+    def test_overlapping_intervals_same_thread_no_double_count(self):
+        t = Timeline(n_threads=1)
+        t.record_active(0, 0, 10)
+        t.record_active(0, 5, 15)  # artificial overlap
+        g = bottlegraph_from_timeline(t)
+        assert g.heights[0] == pytest.approx(15.0)
+
+
+class TestBottlegraphQueries:
+    def _graph(self):
+        return Bottlegraph(
+            heights=[10.0, 40.0, 25.0], widths=[1.0, 3.0, 2.0],
+            total=75.0,
+        )
+
+    def test_normalized_heights(self):
+        g = self._graph()
+        assert sum(g.normalized_heights()) == pytest.approx(1.0)
+        assert g.normalized_heights()[1] == pytest.approx(40 / 75)
+
+    def test_normalized_empty(self):
+        g = Bottlegraph(heights=[0.0], widths=[0.0], total=0.0)
+        assert g.normalized_heights() == [0.0]
+
+    def test_stacking_order_widest_first(self):
+        assert self._graph().stacking_order() == [1, 2, 0]
+
+    def test_bottleneck_thread(self):
+        assert self._graph().bottleneck_thread() == 1
+
+    def test_n_threads(self):
+        assert self._graph().n_threads == 3
+
+
+class TestEndToEnd:
+    def test_prediction_and_simulation_graphs_comparable(
+        self, small_trace, small_profile, base_config
+    ):
+        from repro.core.rppm import predict
+        from repro.simulator.multicore import simulate
+        pred = bottlegraph_from_timeline(
+            predict(small_profile, base_config).timeline
+        )
+        sim = bottlegraph_from_timeline(
+            simulate(small_trace, base_config).timeline
+        )
+        assert pred.n_threads == sim.n_threads
+        for p, s in zip(pred.normalized_heights(),
+                        sim.normalized_heights()):
+            assert p == pytest.approx(s, abs=0.15)

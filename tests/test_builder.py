@@ -1,0 +1,204 @@
+"""Unit tests for the workload builder."""
+
+import pytest
+
+from repro.workloads.builder import WorkloadBuilder
+from repro.workloads.generator import expand
+from repro.workloads.ir import SyncKind, SyncOp
+
+from tests.conftest import make_epoch
+
+
+def events_of(spec, tid):
+    return [p.event.kind for p in spec.plans[tid]]
+
+
+class TestBuilderBasics:
+    def test_main_and_workers(self):
+        b = WorkloadBuilder("w", 4)
+        assert b.main == 0
+        assert b.workers == [1, 2, 3]
+        assert b.all_threads == [0, 1, 2, 3]
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            WorkloadBuilder("w", 0)
+
+    def test_new_ids_unique(self):
+        b = WorkloadBuilder("w", 2)
+        assert b.new_id() != b.new_id()
+
+    def test_cannot_add_after_finish(self):
+        b = WorkloadBuilder("w", 1)
+        b.join_all()
+        with pytest.raises(RuntimeError, match="finished"):
+            b.compute(0, make_epoch(10))
+
+
+class TestSpawnJoin:
+    def test_spawn_creates_all_workers(self):
+        b = WorkloadBuilder("w", 4)
+        b.spawn_workers(make_epoch(100))
+        spec = b.join_all()
+        creates = [
+            p.event.obj for p in spec.plans[0]
+            if p.event.kind is SyncKind.CREATE
+        ]
+        assert creates == [1, 2, 3]
+
+    def test_join_all_ends_every_thread(self):
+        b = WorkloadBuilder("w", 3)
+        b.spawn_workers()
+        spec = b.join_all()
+        for tid in range(3):
+            assert events_of(spec, tid)[-1] is SyncKind.END
+
+    def test_main_joins_each_worker(self):
+        b = WorkloadBuilder("w", 3)
+        b.spawn_workers()
+        spec = b.join_all()
+        joins = [
+            p.event.obj for p in spec.plans[0]
+            if p.event.kind is SyncKind.JOIN
+        ]
+        assert joins == [1, 2]
+
+    def test_single_thread_keeps_init_work(self):
+        b = WorkloadBuilder("w", 1)
+        b.spawn_workers(make_epoch(123))
+        spec = b.join_all()
+        assert spec.n_instructions == 123
+
+    def test_result_expands_and_validates(self):
+        b = WorkloadBuilder("w", 4)
+        b.spawn_workers(make_epoch(100))
+        b.barrier(make_epoch(50))
+        expand(b.join_all()).validate()
+
+
+class TestBarriers:
+    def test_barrier_shares_one_object(self):
+        b = WorkloadBuilder("w", 3)
+        b.spawn_workers()
+        b.barrier(make_epoch(10))
+        spec = b.join_all()
+        objs = {
+            p.event.obj
+            for plans in spec.plans for p in plans
+            if p.event.kind is SyncKind.BARRIER
+        }
+        assert len(objs) == 1
+
+    def test_barrier_participants_default_all(self):
+        b = WorkloadBuilder("w", 3)
+        b.spawn_workers()
+        b.barrier(make_epoch(10))
+        spec = b.join_all()
+        ev = next(
+            p.event for p in spec.plans[0]
+            if p.event.kind is SyncKind.BARRIER
+        )
+        assert ev.participants == (0, 1, 2)
+
+    def test_barrier_phases_allocates_fresh_barriers(self):
+        b = WorkloadBuilder("w", 2)
+        b.spawn_workers()
+        b.barrier_phases(3, make_epoch(10))
+        spec = b.join_all()
+        objs = [
+            p.event.obj for p in spec.plans[0]
+            if p.event.kind is SyncKind.BARRIER
+        ]
+        assert len(set(objs)) == 3
+
+    def test_condvar_barrier_kind(self):
+        b = WorkloadBuilder("w", 2)
+        b.spawn_workers()
+        b.barrier(make_epoch(10), condvar=True)
+        spec = b.join_all()
+        kinds = events_of(spec, 1)
+        assert SyncKind.CV_BARRIER in kinds
+
+    def test_per_thread_spec_callable(self):
+        b = WorkloadBuilder("w", 3)
+        b.spawn_workers()
+        b.barrier(lambda tid: make_epoch(100 * (tid + 1)))
+        spec = b.join_all()
+        ns = [
+            p.spec.n for plans in spec.plans for p in plans
+            if p.event.kind is SyncKind.BARRIER
+        ]
+        assert sorted(ns) == [100, 200, 300]
+
+    def test_per_thread_spec_dict(self):
+        b = WorkloadBuilder("w", 2)
+        b.spawn_workers()
+        b.barrier({0: make_epoch(10), 1: make_epoch(20)})
+        spec = b.join_all()
+        ns = [
+            p.spec.n for plans in spec.plans for p in plans
+            if p.event.kind is SyncKind.BARRIER
+        ]
+        assert sorted(ns) == [10, 20]
+
+
+class TestCriticalSections:
+    def test_lock_unlock_pairs(self):
+        b = WorkloadBuilder("w", 3)
+        b.spawn_workers()
+        b.critical_loop(b.workers, 2, make_epoch(20), make_epoch(5))
+        spec = b.join_all()
+        for tid in (1, 2):
+            kinds = events_of(spec, tid)
+            assert kinds.count(SyncKind.LOCK) == 2
+            assert kinds.count(SyncKind.UNLOCK) == 2
+
+    def test_iterations_share_one_mutex(self):
+        b = WorkloadBuilder("w", 2)
+        b.spawn_workers()
+        b.critical_loop([1], 3, make_epoch(20), make_epoch(5))
+        spec = b.join_all()
+        locks = {
+            p.event.obj for p in spec.plans[1]
+            if p.event.kind is SyncKind.LOCK
+        }
+        assert len(locks) == 1
+
+    def test_explicit_mutex_reused(self):
+        b = WorkloadBuilder("w", 2)
+        b.spawn_workers()
+        mid = b.new_id()
+        b.critical_loop([1], 1, make_epoch(20), make_epoch(5), mutex=mid)
+        b.critical_loop([1], 1, make_epoch(20), make_epoch(5), mutex=mid)
+        spec = b.join_all()
+        locks = {
+            p.event.obj for p in spec.plans[1]
+            if p.event.kind is SyncKind.LOCK
+        }
+        assert locks == {mid}
+
+
+class TestProducerConsumer:
+    def test_produce_consume_events(self):
+        b = WorkloadBuilder("w", 2)
+        b.spawn_workers()
+        cv = b.new_id()
+        b.produce(0, make_epoch(10), cv, items=2)
+        b.consume(1, make_epoch(10), cv)
+        spec = b.join_all()
+        put = next(
+            p.event for p in spec.plans[0]
+            if p.event.kind is SyncKind.PC_PUT
+        )
+        assert put.items == 2
+        assert SyncKind.PC_GET in events_of(spec, 1)
+
+    def test_workload_runs_end_to_end(self):
+        b = WorkloadBuilder("w", 2)
+        b.spawn_workers()
+        cv = b.new_id()
+        b.produce(0, make_epoch(10), cv)
+        b.consume(1, None, cv)
+        b.compute(1, make_epoch(10))
+        trace = expand(b.join_all())
+        trace.validate()

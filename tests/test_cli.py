@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_config_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "rodinia.nn", "--config", "gigantic"]
+            )
+
+    def test_report_artifact_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "figure9"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "rodinia:" in out
+        assert "design points:" in out
+
+    def test_profile_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "profile.json"
+        assert main(["profile", "rodinia.nn", "-o", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert data["name"] == "rodinia.nn"
+        assert data["n_threads"] == 4
+
+    def test_predict_from_stored_profile(self, tmp_path, capsys):
+        out_file = tmp_path / "profile.json"
+        main(["profile", "rodinia.nn", "-o", str(out_file)])
+        capsys.readouterr()
+        assert main(["predict", "--profile-json", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "rodinia.nn on base" in out
+        assert "CPI stack" in out
+
+    def test_predict_needs_input(self):
+        with pytest.raises(SystemExit, match="profile-json"):
+            main(["predict"])
+
+    def test_predict_by_name(self, capsys):
+        assert main(["predict", "nn", "--config", "small"]) == 0
+        assert "on small" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "rodinia.nn", "--scale", "0.3"]) == 0
+        assert "invalidations" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "rodinia.nn", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "RPPM" in out and "error" in out
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(SystemExit, match="unknown"):
+            main(["simulate", "gcc"])
+
+    def test_unknown_suite(self):
+        with pytest.raises(SystemExit, match="unknown suite"):
+            main(["simulate", "spec.nn"])
+
+    def test_parsec_shorthand(self, capsys):
+        assert main(["simulate", "swaptions", "--scale", "0.2"]) == 0
+
+    def test_report_table1(self, capsys):
+        assert main(["report", "table1"]) == 0
+        assert "#Threads" in capsys.readouterr().out

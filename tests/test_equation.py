@@ -1,0 +1,191 @@
+"""Unit tests for Eq. 1 and the epoch cost model."""
+
+import pytest
+
+from repro.arch.presets import table_iv_config
+from repro.core.epoch_model import (
+    EpochCostCache,
+    predict_epoch_cycles,
+    segment_startup_cycles,
+)
+from repro.core.equation import EpochCosts, evaluate_equation
+from repro.profiler.profiler import profile_workload
+from repro.workloads import kernels as k
+
+from tests.conftest import make_epoch, single_thread_workload
+
+
+def main_pool(profile):
+    return max(profile.threads[0].pools.values(),
+               key=lambda p: p.n_instructions)
+
+
+def profile_of(spec):
+    return profile_workload(single_thread_workload(spec))
+
+
+class TestEquationComponents:
+    def test_empty_pool(self, base_config, small_profile):
+        from repro.profiler.profile import EpochProfile
+        import numpy as np
+        from repro.profiler.ilp import build_ilp_table
+        from repro.profiler.branchprof import branch_stats
+        from repro.profiler.profile import DataLocalityStats
+        from repro.profiler.histogram import RDHistogram
+        pool = EpochProfile(
+            key=0, n_instructions=0, n_segments=0,
+            class_counts=np.zeros(6, dtype=np.int64),
+            ilp=build_ilp_table([]), branch=branch_stats([]),
+            data=DataLocalityStats(), ifetch=RDHistogram(), n_fetches=0,
+            load_chain_frac=0.0,
+        )
+        costs = evaluate_equation(pool, base_config)
+        assert costs.cpi_active == 0.0
+
+    def test_all_components_non_negative(self, base_config,
+                                         small_profile):
+        for t in small_profile.threads:
+            for pool in t.pools.values():
+                c = evaluate_equation(pool, base_config)
+                assert c.cpi_base >= 0
+                assert c.cpi_branch >= 0
+                assert c.cpi_icache >= 0
+                assert c.cpi_mem >= 0
+
+    def test_base_bounded_by_width(self, base_config):
+        prof = profile_of(make_epoch(20_000, mean_dep=16.0))
+        c = evaluate_equation(main_pool(prof), base_config)
+        assert c.cpi_base >= 1.0 / base_config.core.dispatch_width
+
+    def test_high_ilp_reaches_width(self, base_config):
+        spec = make_epoch(30_000, mean_dep=24.0,
+                          mix=k.mix(ialu=0.9, load=0.1))
+        c = evaluate_equation(main_pool(profile_of(spec)), base_config)
+        assert c.effective_dispatch == pytest.approx(
+            base_config.core.dispatch_width, rel=0.15
+        )
+
+    def test_serial_chains_lower_dispatch(self, base_config):
+        serial = make_epoch(30_000, mean_dep=1.2, mix=k.FP_COMPUTE)
+        c = evaluate_equation(main_pool(profile_of(serial)), base_config)
+        assert c.effective_dispatch < 1.5
+
+    def test_port_cap_binds_skewed_mixes(self, base_config):
+        # 60% branches but only 1 branch port: IPC capped at ~1.67.
+        spec = make_epoch(30_000, mean_dep=30.0,
+                          mix=k.mix(ialu=0.4, branch=0.6),
+                          branch=k.BR_BIASED)
+        c = evaluate_equation(main_pool(profile_of(spec)), base_config)
+        assert c.effective_dispatch <= 1.0 / 0.6 + 0.01
+
+    def test_miss_rates_ordered(self, base_config):
+        spec = make_epoch(
+            30_000,
+            mem=(k.working_set(20_000, hot_lines=1000, hot_frac=0.8),),
+        )
+        c = evaluate_equation(main_pool(profile_of(spec)), base_config)
+        assert c.data_l1_miss >= c.data_l2_miss >= c.data_llc_miss >= 0
+
+    def test_l1_resident_has_low_miss_rates(self, base_config):
+        spec = make_epoch(
+            30_000,
+            mem=(k.working_set(128, hot_lines=128, hot_frac=1.0),),
+        )
+        c = evaluate_equation(main_pool(profile_of(spec)), base_config)
+        assert c.data_l1_miss < 0.05
+        assert c.cpi_mem < 0.2
+
+    def test_streaming_has_memory_component(self, base_config):
+        spec = make_epoch(
+            30_000, mix=k.MEM_STREAM,
+            mem=(k.stream(100_000, reuse=8),),
+        )
+        c = evaluate_equation(main_pool(profile_of(spec)), base_config)
+        assert c.data_llc_miss > 0.05
+        assert c.cpi_mem > 0.3
+
+    def test_mlp_diagnostic_at_least_one(self, base_config,
+                                         small_profile):
+        for t in small_profile.threads:
+            for pool in t.pools.values():
+                c = evaluate_equation(pool, base_config)
+                assert c.mlp >= 1.0
+
+    def test_hard_branches_raise_branch_component(self, base_config):
+        easy = make_epoch(30_000, branch=k.BR_BIASED)
+        hard = make_epoch(30_000, branch=k.BR_HARD)
+        c_easy = evaluate_equation(main_pool(profile_of(easy)),
+                                   base_config)
+        c_hard = evaluate_equation(main_pool(profile_of(hard)),
+                                   base_config)
+        assert c_hard.branch_miss_rate > c_easy.branch_miss_rate
+        assert c_hard.cpi_branch > c_easy.cpi_branch
+
+    def test_wider_machine_not_slower(self, small_profile):
+        smallest = table_iv_config("smallest")
+        biggest = table_iv_config("biggest")
+        for pool in small_profile.threads[1].pools.values():
+            c_small = evaluate_equation(pool, smallest)
+            c_big = evaluate_equation(pool, biggest)
+            assert c_big.cpi_base <= c_small.cpi_base + 0.02
+
+    def test_costs_frozen(self, base_config, small_profile):
+        pool = main_pool(small_profile)
+        costs = evaluate_equation(pool, base_config)
+        with pytest.raises(AttributeError):
+            costs.cpi_base = 1.0
+
+    def test_cpi_active_sums_components(self):
+        c = EpochCosts(
+            cpi_base=1.0, cpi_branch=0.5, cpi_icache=0.25, cpi_mem=0.25,
+            effective_dispatch=1.0, branch_miss_rate=0.0,
+            data_l1_miss=0.0, data_l2_miss=0.0, data_llc_miss=0.0,
+            mlp=1.0,
+        )
+        assert c.cpi_active == 2.0
+
+
+class TestEpochCostCache:
+    def test_memoises_per_pool(self, small_profile, base_config):
+        cache = EpochCostCache(small_profile, base_config)
+        t = small_profile.threads[1]
+        key = next(iter(t.pools))
+        a = cache.costs(t, key)
+        b = cache.costs(t, key)
+        assert a is b
+
+    def test_none_key_returns_none(self, small_profile, base_config):
+        cache = EpochCostCache(small_profile, base_config)
+        assert cache.costs(small_profile.threads[0], None) is None
+
+    def test_predict_epoch_scales_with_instructions(
+        self, small_profile, base_config
+    ):
+        cache = EpochCostCache(small_profile, base_config)
+        t = small_profile.threads[1]
+        segs = [s for s in t.segments if s.n_instructions > 0]
+        big = max(segs, key=lambda s: s.n_instructions)
+        cycles, stack = predict_epoch_cycles(cache, t, big)
+        assert cycles > 0
+        assert stack.instructions == big.n_instructions
+        startup = segment_startup_cycles(base_config)
+        per_instr = (cycles - startup) / big.n_instructions
+        half = big.n_instructions // 2
+        import dataclasses
+        smaller = dataclasses.replace(big, n_instructions=half)
+        cycles2, _ = predict_epoch_cycles(cache, t, smaller)
+        assert cycles2 == pytest.approx(
+            per_instr * half + startup, rel=1e-9
+        )
+
+    def test_empty_segment_costs_nothing(self, small_profile,
+                                         base_config):
+        cache = EpochCostCache(small_profile, base_config)
+        t = small_profile.threads[0]
+        empty = next(s for s in t.segments if s.n_instructions == 0)
+        cycles, stack = predict_epoch_cycles(cache, t, empty)
+        assert cycles == 0.0
+        assert stack.total_cycles == 0.0
+
+    def test_startup_positive(self, base_config):
+        assert segment_startup_cycles(base_config) > 0

@@ -1,0 +1,140 @@
+"""Unit tests for log-binned reuse-distance histograms."""
+
+import numpy as np
+import pytest
+
+from repro.profiler.histogram import (
+    NBINS,
+    RDHistogram,
+    bin_index,
+    bin_rep,
+)
+
+
+class TestBinIndex:
+    def test_small_distances_exact(self):
+        for rd in range(8):
+            assert bin_index(rd) == rd
+
+    def test_monotone(self):
+        prev = -1
+        for rd in [0, 1, 7, 8, 9, 15, 16, 31, 100, 1000, 10**6, 10**9]:
+            idx = bin_index(rd)
+            assert idx >= prev
+            prev = idx
+
+    def test_bounded(self):
+        assert bin_index(2**50) < NBINS
+
+    def test_quarter_octave_resolution(self):
+        # Within one octave there are four distinct bins.
+        octave = {bin_index(rd) for rd in range(64, 128)}
+        assert len(octave) == 4
+
+    def test_representative_within_bin(self):
+        for rd in [0, 5, 9, 33, 250, 9000]:
+            idx = bin_index(rd)
+            rep = bin_rep(idx)
+            # The representative maps back to the same bin.
+            assert bin_index(int(rep)) == idx
+
+
+class TestRDHistogram:
+    def test_empty(self):
+        h = RDHistogram()
+        assert h.n_total == 0
+        assert h.n_finite == 0
+
+    def test_add_and_count(self):
+        h = RDHistogram()
+        h.add(3)
+        h.add(3)
+        h.add(100)
+        assert h.n_finite == 3
+
+    def test_add_many_matches_add(self):
+        rds = np.array([0, 1, 5, 9, 100, 5000, 100])
+        a = RDHistogram()
+        for rd in rds:
+            a.add(int(rd))
+        b = RDHistogram()
+        b.add_many(rds)
+        assert a == b
+
+    def test_cold_and_inval_tracked_separately(self):
+        h = RDHistogram()
+        h.add_cold(2)
+        h.add_inval(3)
+        assert h.cold == 2
+        assert h.inval == 3
+        assert h.n_total == 5
+        assert h.n_finite == 0
+
+    def test_merge(self):
+        a, b = RDHistogram(), RDHistogram()
+        a.add(4)
+        a.add_cold()
+        b.add(4)
+        b.add(9)
+        b.add_inval()
+        a.merge(b)
+        assert a.n_finite == 3
+        assert a.cold == 1
+        assert a.inval == 1
+
+    def test_nonzero_returns_sorted_reps(self):
+        h = RDHistogram()
+        h.add(1000)
+        h.add(2)
+        reps, counts = h.nonzero()
+        assert list(reps) == sorted(reps)
+        assert counts.sum() == 2
+
+    def test_mean_finite(self):
+        h = RDHistogram()
+        h.add(2)
+        h.add(4)
+        assert h.mean_finite() == pytest.approx(3.0)
+
+    def test_mean_finite_empty(self):
+        assert RDHistogram().mean_finite() == 0.0
+
+    def test_scaled_moves_distances(self):
+        h = RDHistogram()
+        h.add(4)
+        scaled = h.scaled(4.0)
+        reps, counts = scaled.nonzero()
+        assert counts.sum() == 1
+        assert bin_index(int(reps[0])) == bin_index(16)
+
+    def test_scaled_preserves_cold_inval(self):
+        h = RDHistogram(cold=3, inval=2)
+        s = h.scaled(2.0)
+        assert s.cold == 3 and s.inval == 2
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            RDHistogram().scaled(0.0)
+
+    def test_wrong_bin_count_rejected(self):
+        with pytest.raises(ValueError):
+            RDHistogram(counts=np.zeros(5))
+
+    def test_serialization_round_trip(self):
+        h = RDHistogram(cold=4, inval=1)
+        h.add_many(np.array([0, 7, 9, 300, 300, 10**6]))
+        h2 = RDHistogram.from_dict(h.to_dict())
+        assert h == h2
+
+    def test_serialization_is_sparse(self):
+        h = RDHistogram()
+        h.add(5)
+        assert len(h.to_dict()["bins"]) == 1
+
+    def test_equality(self):
+        a, b = RDHistogram(), RDHistogram()
+        a.add(5)
+        assert a != b
+        b.add(5)
+        assert a == b
+        assert a != "not a histogram"

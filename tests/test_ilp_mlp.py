@@ -1,0 +1,244 @@
+"""Unit tests for the ILP scoreboard profiling and the MLP model."""
+
+import numpy as np
+import pytest
+
+from repro.mlp.model import predict_mlp, predict_mlp_for_core
+from repro.arch.config import CoreConfig
+from repro.profiler.ilp import (
+    CANONICAL_LAT,
+    LOAD_LAT_GRID,
+    WINDOW_GRID,
+    build_ilp_table,
+    hierarchy_ilp,
+    load_parallelism,
+    scoreboard_replay,
+)
+from repro.profiler.profile import ILPTable
+from repro.workloads.ir import OP_BRANCH, OP_LOAD
+
+
+def chain(n, dist=1, op=0):
+    """n ops, each depending on the op `dist` before it."""
+    ops = [op] * n
+    deps = [0] * min(dist, n) + [dist] * max(n - dist, 0)
+    return ops, deps
+
+
+class TestScoreboardReplay:
+    def test_empty(self):
+        assert scoreboard_replay([], [], 64, 2) == (1.0, 0.0)
+
+    def test_serial_chain_ilp_is_inverse_latency(self):
+        ops, deps = chain(512, dist=1)
+        ilp, _ = scoreboard_replay(ops, deps, 128, 2)
+        # ialu latency 1, fully serial -> ILP 1.
+        assert ilp == pytest.approx(1.0, rel=0.01)
+
+    def test_independent_ops_limited_by_window(self):
+        ops = [0] * 512
+        deps = [0] * 512
+        ilp, _ = scoreboard_replay(ops, deps, 64, 2)
+        # All independent: the window turns over once per cycle-latency.
+        assert ilp > 32
+
+    def test_load_latency_slows_load_chains(self):
+        ops, deps = chain(512, dist=1, op=OP_LOAD)
+        fast, _ = scoreboard_replay(ops, deps, 128, 2)
+        slow, _ = scoreboard_replay(ops, deps, 128, 30)
+        assert fast / slow == pytest.approx(15.0, rel=0.1)
+
+    def test_bigger_window_never_hurts(self):
+        rng = np.random.default_rng(7)
+        ops = rng.integers(0, 6, size=512).tolist()
+        deps = np.minimum(
+            rng.geometric(1 / 4.0, size=512), np.arange(512)
+        ).tolist()
+        ilps = [
+            scoreboard_replay(ops, deps, w, 10)[0]
+            for w in (16, 64, 256)
+        ]
+        assert ilps[0] <= ilps[1] + 1e-9 <= ilps[2] + 2e-9
+
+    def test_per_op_latency_array(self):
+        ops, deps = chain(100, dist=1, op=OP_LOAD)
+        lats = [5.0] * 100
+        uniform, _ = scoreboard_replay(ops, deps, 64, 5)
+        per_op, _ = scoreboard_replay(ops, deps, 64, lats)
+        assert per_op == pytest.approx(uniform)
+
+    def test_branch_slice_loads_counted(self):
+        # load -> branch directly dependent: slice has one load.
+        ops = [OP_LOAD, OP_BRANCH]
+        deps = [0, 1]
+        _, loads = scoreboard_replay(ops, deps, 64, 2)
+        assert loads == 1.0
+
+    def test_branch_with_no_load_dep(self):
+        ops = [0, OP_BRANCH]
+        deps = [0, 1]
+        _, loads = scoreboard_replay(ops, deps, 64, 2)
+        assert loads == 0.0
+
+    def test_transitive_load_chain_counts(self):
+        ops = [OP_LOAD, 0, OP_BRANCH]
+        deps = [0, 1, 1]
+        _, loads = scoreboard_replay(ops, deps, 64, 2)
+        assert loads == 1.0
+
+
+class TestLoadParallelism:
+    def test_no_loads(self):
+        assert load_parallelism([0] * 64, [0] * 64, 32) == 1.0
+
+    def test_independent_loads_parallel(self):
+        ops = [OP_LOAD] * 64
+        deps = [0] * 64
+        lp = load_parallelism(ops, deps, 64)
+        assert lp == pytest.approx(64.0)
+
+    def test_chained_loads_serial(self):
+        ops, deps = chain(64, dist=1, op=OP_LOAD)
+        lp = load_parallelism(ops, deps, 64)
+        assert lp == pytest.approx(1.0)
+
+    def test_result_at_least_one(self):
+        ops, deps = chain(8, dist=1, op=OP_LOAD)
+        assert load_parallelism(ops, deps, 4) >= 1.0
+
+
+class TestILPTable:
+    def _table(self):
+        rng = np.random.default_rng(3)
+        ops = rng.integers(0, 6, size=512)
+        deps = np.minimum(
+            rng.geometric(1 / 3.0, size=512), np.arange(512)
+        ).astype(np.int32)
+        return build_ilp_table([(ops, deps)])
+
+    def test_shape(self):
+        t = self._table()
+        assert t.ilp.shape == (len(WINDOW_GRID), len(LOAD_LAT_GRID))
+        assert t.branch_loads.shape == (len(WINDOW_GRID),)
+        assert t.load_par.shape == (len(WINDOW_GRID),)
+
+    def test_grid_monotone_in_latency(self):
+        t = self._table()
+        for wi in range(len(WINDOW_GRID)):
+            row = t.ilp[wi]
+            assert (np.diff(row) <= 1e-9).all()
+
+    def test_lookup_at_grid_points(self):
+        t = self._table()
+        for wi, w in enumerate(WINDOW_GRID):
+            for li, lat in enumerate(LOAD_LAT_GRID):
+                assert t.lookup(w, lat) == pytest.approx(t.ilp[wi, li])
+
+    def test_lookup_interpolates_between(self):
+        t = self._table()
+        lo = t.lookup(128, 10)
+        hi = t.lookup(128, 30)
+        mid = t.lookup(128, 20)
+        assert min(lo, hi) - 1e-9 <= mid <= max(lo, hi) + 1e-9
+
+    def test_lookup_clamps_out_of_range(self):
+        t = self._table()
+        assert t.lookup(4, 1) == pytest.approx(
+            t.lookup(WINDOW_GRID[0], LOAD_LAT_GRID[0])
+        )
+        assert t.lookup(10**6, 10**6) == pytest.approx(
+            t.lookup(WINDOW_GRID[-1], LOAD_LAT_GRID[-1])
+        )
+
+    def test_empty_samples_conservative(self):
+        t = build_ilp_table([])
+        assert t.lookup(128, 10) == 1.0
+        assert t.lookup_branch_loads(128) == 0.0
+
+    def test_serialization_round_trip(self):
+        t = self._table()
+        t2 = ILPTable.from_dict(t.to_dict())
+        assert np.allclose(t.ilp, t2.ilp)
+        assert np.allclose(t.branch_loads, t2.branch_loads)
+        assert np.allclose(t.load_par, t2.load_par)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            ILPTable(windows=(16, 32), load_lats=(2,),
+                     ilp=np.ones((1, 1)))
+
+    def test_positive_ilp_required(self):
+        with pytest.raises(ValueError, match="positive"):
+            ILPTable(windows=(16,), load_lats=(2,),
+                     ilp=np.zeros((1, 1)))
+
+
+class TestHierarchyILP:
+    def _samples(self):
+        rng = np.random.default_rng(3)
+        ops = rng.integers(0, 6, size=512)
+        deps = np.minimum(
+            rng.geometric(1 / 3.0, size=512), np.arange(512)
+        ).astype(np.int32)
+        return [(ops, deps)]
+
+    def test_no_samples(self):
+        assert hierarchy_ilp([], 128, (0, 0, 0), (3, 10, 30), 200) == 1.0
+
+    def test_all_hits_matches_uniform_l1(self):
+        samples = self._samples()
+        h = hierarchy_ilp(samples, 128, (0.0, 0.0, 0.0), (3, 10, 30), 0.0)
+        op, dep = samples[0]
+        uniform, _ = scoreboard_replay(op.tolist(), dep.tolist(), 128, 3)
+        assert h == pytest.approx(uniform, rel=1e-6)
+
+    def test_misses_slow_it_down(self):
+        samples = self._samples()
+        hit = hierarchy_ilp(samples, 128, (0.1, 0.0, 0.0), (3, 10, 30),
+                            0.0)
+        missy = hierarchy_ilp(samples, 128, (0.5, 0.3, 0.2), (3, 10, 30),
+                              200.0)
+        assert missy < hit
+
+    def test_deterministic(self):
+        samples = self._samples()
+        a = hierarchy_ilp(samples, 128, (0.3, 0.1, 0.05), (3, 10, 30), 200)
+        b = hierarchy_ilp(samples, 128, (0.3, 0.1, 0.05), (3, 10, 30), 200)
+        assert a == b
+
+
+class TestMLPModel:
+    def test_at_least_one(self):
+        assert predict_mlp(128, 16, 0.0, 0.0, 1.0) == 1.0
+
+    def test_mshr_cap(self):
+        assert predict_mlp(10_000, 8, 1.0, 1.0, 1000.0) == 8.0
+
+    def test_dependence_ceiling(self):
+        assert predict_mlp(10_000, 64, 1.0, 1.0, 3.0) == 3.0
+
+    def test_candidate_limit(self):
+        # Window of 100 with 10% loads and 20% missing: 2 candidates.
+        assert predict_mlp(100, 64, 0.1, 0.2, 100.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predict_mlp(0, 16, 0.1, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            predict_mlp(128, 0, 0.1, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            predict_mlp(128, 16, -0.1, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            predict_mlp(128, 16, 0.1, 0.1, 0.5)
+
+    def test_core_wrapper(self):
+        core = CoreConfig()
+        direct = predict_mlp(core.rob_size, core.mshr_entries, 0.3, 0.5,
+                             8.0)
+        assert predict_mlp_for_core(core, 0.3, 0.5, 8.0) == direct
+
+    def test_canonical_latencies_sane(self):
+        # ialu 1, imul 3, fp 4 as documented; load is the grid axis.
+        assert CANONICAL_LAT[0] == 1
+        assert CANONICAL_LAT[1] == 3
+        assert CANONICAL_LAT[2] == 4

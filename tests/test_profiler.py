@@ -1,0 +1,210 @@
+"""Unit tests for the profiler and the profile data model."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.profiler.profile import WorkloadProfile
+from repro.profiler.profiler import profile_workload
+from repro.workloads import kernels as k
+from repro.workloads.generator import expand
+from repro.workloads.ir import SyncKind
+
+from tests.conftest import (
+    barrier_workload,
+    make_epoch,
+    single_thread_workload,
+)
+
+
+class TestProfileStructure:
+    def test_profiles_spec_or_trace(self):
+        w = barrier_workload()
+        from_spec = profile_workload(w)
+        from_trace = profile_workload(expand(w))
+        assert from_spec.n_instructions == from_trace.n_instructions
+
+    def test_thread_count(self, small_profile):
+        assert small_profile.n_threads == 4
+        assert len(small_profile.threads) == 4
+
+    def test_instruction_totals_match_trace(self, small_trace,
+                                            small_profile):
+        assert small_profile.n_instructions == small_trace.n_instructions
+
+    def test_segments_mirror_sync_structure(self, small_profile):
+        main = small_profile.threads[0]
+        kinds = [s.event.kind for s in main.segments]
+        assert kinds[-1] is SyncKind.END
+        assert SyncKind.CREATE in kinds
+        assert SyncKind.JOIN in kinds
+
+    def test_pools_keyed_by_code_region(self, small_profile):
+        worker = small_profile.threads[1]
+        # barrier_workload uses regions 0 (init), 1 (phases).
+        assert len(worker.pools) >= 1
+        for key, pool in worker.pools.items():
+            assert pool.n_instructions > 0
+            assert pool.key == key
+
+    def test_segment_refs_point_at_existing_pools(self, small_profile):
+        for thread in small_profile.threads:
+            for seg in thread.segments:
+                if seg.n_instructions:
+                    assert seg.key in thread.pools
+
+    def test_empty_segments_have_no_pool(self, small_profile):
+        for thread in small_profile.threads:
+            for seg in thread.segments:
+                if seg.n_instructions == 0:
+                    assert seg.key is None
+
+
+class TestPoolStatistics:
+    def test_mix_matches_spec(self):
+        spec = make_epoch(40_000, mix=k.mix(ialu=0.6, load=0.3,
+                                            branch=0.1))
+        prof = profile_workload(single_thread_workload(spec))
+        pool = max(prof.threads[0].pools.values(),
+                   key=lambda p: p.n_instructions)
+        assert pool.mix["ialu"] == pytest.approx(0.6, abs=0.02)
+        assert pool.mix["load"] == pytest.approx(0.3, abs=0.02)
+
+    def test_loads_per_instruction(self):
+        spec = make_epoch(20_000, mix=k.mix(ialu=0.5, load=0.5))
+        prof = profile_workload(single_thread_workload(spec))
+        pool = max(prof.threads[0].pools.values(),
+                   key=lambda p: p.n_instructions)
+        assert pool.loads_per_instruction == pytest.approx(0.5, abs=0.02)
+
+    def test_fetches_per_instruction_bounded(self, small_profile):
+        for t in small_profile.threads:
+            for pool in t.pools.values():
+                assert 0.0 < pool.fetches_per_instruction <= 1.0
+
+    def test_ilp_table_populated(self, small_profile):
+        pool = max(small_profile.threads[1].pools.values(),
+                   key=lambda p: p.n_instructions)
+        assert pool.ilp.lookup(128, 2) > 0.5
+
+    def test_samples_retained(self, small_profile):
+        pool = max(small_profile.threads[1].pools.values(),
+                   key=lambda p: p.n_instructions)
+        assert len(pool.samples) >= 1
+
+    def test_branch_stats_populated(self, small_profile):
+        pool = max(small_profile.threads[1].pools.values(),
+                   key=lambda p: p.n_instructions)
+        assert pool.branch.n_branches > 0
+        assert 0 <= pool.branch.floor_at(0) <= 0.5
+
+    def test_data_locality_populated(self, small_profile):
+        pool = max(small_profile.threads[1].pools.values(),
+                   key=lambda p: p.n_instructions)
+        assert pool.data.n_accesses > 0
+        assert pool.data.private.n_total > 0
+        assert pool.data.shared.n_total > 0
+
+    def test_load_chain_frac_profiled(self):
+        """Explicitly chained loads dominate the profiled fraction.
+
+        The profiled value also includes *incidental* load->load
+        dependences from the geometric draw, so it sits above the
+        spec's explicit fraction — what matters is the ordering.
+        """
+        chained = make_epoch(
+            30_000, mix=k.mix(ialu=0.4, load=0.6), load_chain_frac=0.8,
+        )
+        loose = make_epoch(
+            30_000, mix=k.mix(ialu=0.4, load=0.6), load_chain_frac=0.0,
+        )
+        def frac(spec):
+            prof = profile_workload(single_thread_workload(spec))
+            pool = max(prof.threads[0].pools.values(),
+                       key=lambda p: p.n_instructions)
+            return pool.load_chain_frac
+        assert frac(chained) >= 0.75
+        assert frac(chained) > frac(loose)
+
+
+class TestSharedMemoryProfiling:
+    def test_shared_read_has_short_global_distances(self):
+        """Positive interference: siblings touch the same lines."""
+        from repro.workloads.builder import WorkloadBuilder
+        b = WorkloadBuilder("sharing", 4, seed=9)
+        spec = make_epoch(
+            8000, mix=k.mix(ialu=0.5, load=0.5),
+            mem=(k.shared_read(64, region=0, hot_frac=1.0),),
+        )
+        b.spawn_workers()
+        b.barrier(spec)
+        prof = profile_workload(expand(b.join_all()))
+        pool = max(prof.threads[1].pools.values(),
+                   key=lambda p: p.n_instructions)
+        # The shared 64-line set is hot across all threads: the mean
+        # global distance stays around the footprint size.
+        assert pool.data.shared.mean_finite() < 64 * 6
+
+    def test_private_data_records_no_invalidations(self, small_profile):
+        for t in small_profile.threads:
+            for pool in t.pools.values():
+                assert pool.data.private.inval == 0
+
+    def test_shared_rw_records_invalidations(self):
+        from repro.workloads.builder import WorkloadBuilder
+        b = WorkloadBuilder("coherence", 4, seed=9)
+        spec = make_epoch(
+            8000, mix=k.mix(ialu=0.4, load=0.4, store=0.2),
+            mem=(k.shared_rw(32, region=0, hot_frac=1.0),),
+        )
+        b.spawn_workers()
+        b.barrier(spec)
+        prof = profile_workload(expand(b.join_all()))
+        invals = sum(
+            pool.data.private.inval
+            for t in prof.threads for pool in t.pools.values()
+        )
+        assert invals > 0
+
+
+class TestProfileSerialization:
+    def test_json_round_trip_preserves_predictions(self, small_profile,
+                                                   base_config):
+        from repro.core.rppm import predict
+        blob = json.dumps(small_profile.to_dict())
+        again = WorkloadProfile.from_dict(json.loads(blob))
+        a = predict(small_profile, base_config)
+        b = predict(again, base_config)
+        assert a.total_cycles == pytest.approx(b.total_cycles, rel=1e-9)
+
+    def test_round_trip_preserves_structure(self, small_profile):
+        again = WorkloadProfile.from_dict(small_profile.to_dict())
+        assert again.name == small_profile.name
+        assert again.n_threads == small_profile.n_threads
+        for ta, tb in zip(small_profile.threads, again.threads):
+            assert len(ta.segments) == len(tb.segments)
+            assert set(ta.pools) == set(tb.pools)
+
+    def test_sync_counts(self, small_profile):
+        counts = small_profile.sync_event_counts()
+        assert counts["barriers"] == 3
+        assert counts["critical_sections"] == 0
+
+
+class TestInterleavingRobustness:
+    def test_chunk_size_does_not_change_predictions_much(
+        self, small_trace, base_config
+    ):
+        """Paper §III-A: profiles are robust to the profiling
+        interleaving; we vary the replay granularity."""
+        from repro.core.rppm import predict
+        coarse = predict(
+            profile_workload(small_trace, chunk=8192), base_config
+        )
+        fine = predict(
+            profile_workload(small_trace, chunk=1024), base_config
+        )
+        assert fine.total_cycles == pytest.approx(
+            coarse.total_cycles, rel=0.1
+        )

@@ -1,0 +1,70 @@
+"""Tests for the thread-scaling extension experiment."""
+
+import pytest
+
+from repro.experiments.scaling import (
+    ScalingCurve,
+    ScalingPoint,
+    render_scaling,
+    run_scaling_curve,
+)
+
+
+class TestScalingCurveMath:
+    def _curve(self):
+        return ScalingCurve(
+            benchmark="x",
+            points=[
+                ScalingPoint(1, 1000.0, 1100.0),
+                ScalingPoint(2, 520.0, 580.0),
+                ScalingPoint(4, 280.0, 300.0),
+            ],
+        )
+
+    def test_speedups_relative_to_one_thread(self):
+        curve = self._curve()
+        pred = curve.predicted_speedups()
+        assert pred[1] == pytest.approx(1.0)
+        assert pred[4] == pytest.approx(1000 / 280)
+
+    def test_simulated_speedups(self):
+        curve = self._curve()
+        sim = curve.simulated_speedups()
+        assert sim[2] == pytest.approx(1100 / 580)
+
+    def test_max_speedup_error(self):
+        curve = self._curve()
+        assert curve.max_speedup_error() < 0.1
+
+    def test_render(self):
+        assert "threads" in render_scaling(self._curve())
+
+
+class TestEndToEndScaling:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        # Reduced scale keeps the 3 profile+simulate rounds quick.
+        return run_scaling_curve("lavaMD", scale=0.5)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            run_scaling_curve("nonesuch")
+
+    def test_simulated_speedup_increases(self, curve):
+        sim = curve.simulated_speedups()
+        assert sim[2] > sim[1]
+        assert sim[4] > sim[2]
+
+    def test_predicted_speedup_increases(self, curve):
+        pred = curve.predicted_speedups()
+        assert pred[2] > pred[1]
+        assert pred[4] > pred[2]
+
+    def test_speedups_bounded_by_thread_count(self, curve):
+        for t, s in curve.simulated_speedups().items():
+            assert s <= t * 1.1
+        for t, s in curve.predicted_speedups().items():
+            assert s <= t * 1.1
+
+    def test_prediction_tracks_simulation(self, curve):
+        assert curve.max_speedup_error() < 0.25

@@ -1,0 +1,269 @@
+"""Unit tests for the DES scheduler (Algorithm 2's engine).
+
+The scheduler is shared by the profiler, the simulator and RPPM's
+phase 2, so its synchronization semantics are the heart of the
+reproduction.  Programs here are built directly from SyncOp lists with
+a duration table, making timing assertions exact.
+"""
+
+import pytest
+
+from repro.runtime.scheduler import DeadlockError, run_schedule
+from repro.workloads.ir import SyncKind, SyncOp
+
+
+def run(programs, durations):
+    """Run with per-(thread, segment) durations from a nested list."""
+    def execute(tid, idx, start):
+        return float(durations[tid][idx])
+    return run_schedule(programs, execute)
+
+
+def N(kind, **kw):
+    return SyncOp(kind, **kw)
+
+
+END = N(SyncKind.END)
+
+
+class TestSingleThread:
+    def test_total_time_is_sum_of_segments(self):
+        programs = [[N(SyncKind.NONE), END]]
+        result = run(programs, [[5, 7]])
+        assert result.end_time == 12
+        assert result.active[0] == 12
+        assert result.idle[0] == 0
+
+    def test_zero_duration_segments(self):
+        programs = [[N(SyncKind.NONE), END]]
+        result = run(programs, [[0, 0]])
+        assert result.end_time == 0
+
+    def test_negative_duration_rejected(self):
+        programs = [[END]]
+        with pytest.raises(ValueError, match="non-negative"):
+            run(programs, [[-1]])
+
+
+class TestCreateJoin:
+    def test_worker_starts_at_creation_time(self):
+        programs = [
+            [N(SyncKind.CREATE, obj=1), N(SyncKind.JOIN, obj=1), END],
+            [END],
+        ]
+        result = run(programs, [[10, 0, 0], [5]])
+        # Worker runs 5 starting at t=10 -> ends 15; main joins at 15.
+        assert result.end_time == 15
+        assert result.timeline.created_at[1] == 10
+
+    def test_join_adds_idle_to_the_waiter(self):
+        programs = [
+            [N(SyncKind.CREATE, obj=1), N(SyncKind.JOIN, obj=1), END],
+            [END],
+        ]
+        result = run(programs, [[0, 0, 0], [30]])
+        assert result.idle[0] == 30
+        assert result.idle[1] == 0
+
+    def test_join_after_child_ended_costs_nothing(self):
+        programs = [
+            [N(SyncKind.CREATE, obj=1), N(SyncKind.JOIN, obj=1), END],
+            [END],
+        ]
+        result = run(programs, [[0, 50, 0], [10]])
+        assert result.idle[0] == 0
+        assert result.end_time == 50
+
+    def test_thread_never_started_deadlocks(self):
+        programs = [[END], [END]]
+        with pytest.raises(DeadlockError, match="never created"):
+            run(programs, [[0], [0]])
+
+
+def _barrier_programs(durations):
+    """n threads: main creates workers, all meet a barrier, join."""
+    n = len(durations)
+    parts = tuple(range(n))
+    bar = N(SyncKind.BARRIER, obj=100, participants=parts)
+    programs = [
+        [N(SyncKind.CREATE, obj=t) for t in range(1, n)]
+        + [bar]
+        + [N(SyncKind.JOIN, obj=t) for t in range(1, n)]
+        + [END]
+    ]
+    for _ in range(1, n):
+        programs.append([bar, END])
+    table = [[0.0] * len(programs[0])]
+    table[0][n - 1] = durations[0]
+    for t in range(1, n):
+        table.append([durations[t], 0.0])
+    return programs, table
+
+
+class TestBarriers:
+    def test_slowest_thread_sets_the_epoch(self):
+        programs, table = _barrier_programs([10, 30, 20])
+        result = run(programs, table)
+        assert result.end_time == 30
+
+    def test_fast_threads_accumulate_idle(self):
+        programs, table = _barrier_programs([10, 30, 20])
+        result = run(programs, table)
+        assert result.idle[0] == pytest.approx(20)
+        assert result.idle[2] == pytest.approx(10)
+        assert result.idle[1] == pytest.approx(0)
+
+    def test_equal_threads_no_idle(self):
+        programs, table = _barrier_programs([25, 25, 25])
+        result = run(programs, table)
+        assert result.idle == [0, 0, 0]
+
+    def test_missing_participant_deadlocks(self):
+        bar = N(SyncKind.BARRIER, obj=1, participants=(0, 1))
+        programs = [
+            [N(SyncKind.CREATE, obj=1), bar, END],
+            [END],  # thread 1 never reaches the barrier
+        ]
+        with pytest.raises(DeadlockError):
+            run(programs, [[0, 0, 0], [0]])
+
+
+class TestLocks:
+    def _two_thread_cs(self, d_outer0, d_cs0, d_outer1, d_cs1):
+        lock = N(SyncKind.LOCK, obj=9)
+        unlock = N(SyncKind.UNLOCK, obj=9)
+        programs = [
+            [N(SyncKind.CREATE, obj=1), lock, unlock,
+             N(SyncKind.JOIN, obj=1), END],
+            [lock, unlock, END],
+        ]
+        table = [
+            [0, d_outer0, d_cs0, 0, 0],
+            [d_outer1, d_cs1, 0],
+        ]
+        return run(programs, table)
+
+    def test_uncontended_lock_is_free(self):
+        result = self._two_thread_cs(0, 5, 100, 5)
+        # Main's only idle is the final join, never the lock.
+        assert result.timeline.idle_by_cause(0).get("lock", 0) == 0
+
+    def test_contended_lock_serializes(self):
+        # Both arrive at t=0; one waits for the other's critical section.
+        result = self._two_thread_cs(0, 10, 0, 10)
+        assert result.end_time == 20
+        lock_idle = (
+            result.timeline.idle_by_cause(0).get("lock", 0)
+            + result.timeline.idle_by_cause(1).get("lock", 0)
+        )
+        assert lock_idle == pytest.approx(10)
+
+    def test_fifo_grant_order(self):
+        # Thread 0 arrives first (outer 0 vs 5): it must win the lock.
+        result = self._two_thread_cs(0, 10, 5, 10)
+        assert result.timeline.idle_by_cause(0).get("lock", 0) == 0
+        assert result.timeline.idle_by_cause(1).get(
+            "lock", 0
+        ) == pytest.approx(5)
+
+    def test_unlock_without_ownership_raises(self):
+        programs = [[N(SyncKind.UNLOCK, obj=1), END]]
+        with pytest.raises(DeadlockError, match="does not hold"):
+            run(programs, [[0, 0]])
+
+
+class TestProducerConsumer:
+    def test_consumer_waits_for_item(self):
+        programs = [
+            [N(SyncKind.CREATE, obj=1), N(SyncKind.PC_PUT, obj=5),
+             N(SyncKind.JOIN, obj=1), END],
+            [N(SyncKind.PC_GET, obj=5), END],
+        ]
+        result = run(programs, [[0, 20, 0, 0], [0, 0]])
+        assert result.idle[1] == pytest.approx(20)
+
+    def test_item_available_no_wait(self):
+        programs = [
+            [N(SyncKind.CREATE, obj=1), N(SyncKind.PC_PUT, obj=5),
+             N(SyncKind.JOIN, obj=1), END],
+            [N(SyncKind.PC_GET, obj=5), END],
+        ]
+        result = run(programs, [[0, 5, 0, 0], [50, 0]])
+        assert result.idle[1] == 0
+
+    def test_multi_item_put_releases_multiple_consumers(self):
+        programs = [
+            [N(SyncKind.CREATE, obj=1), N(SyncKind.CREATE, obj=2),
+             N(SyncKind.PC_PUT, obj=5, items=2),
+             N(SyncKind.JOIN, obj=1), N(SyncKind.JOIN, obj=2), END],
+            [N(SyncKind.PC_GET, obj=5), END],
+            [N(SyncKind.PC_GET, obj=5), END],
+        ]
+        result = run(programs, [[0, 0, 10, 0, 0, 0], [0, 0], [0, 0]])
+        assert result.end_time == 10
+
+    def test_unconsumed_items_are_harmless(self):
+        programs = [
+            [N(SyncKind.PC_PUT, obj=5, items=3), END],
+        ]
+        result = run(programs, [[4, 0]])
+        assert result.end_time == 4
+
+    def test_starved_consumer_deadlocks(self):
+        programs = [
+            [N(SyncKind.CREATE, obj=1), N(SyncKind.JOIN, obj=1), END],
+            [N(SyncKind.PC_GET, obj=5), END],
+        ]
+        with pytest.raises(DeadlockError):
+            run(programs, [[0, 0, 0], [0, 0]])
+
+
+class TestCondvarBarrier:
+    def test_cv_barrier_behaves_like_barrier(self):
+        parts = (0, 1)
+        bar = N(SyncKind.CV_BARRIER, obj=3, participants=parts)
+        programs = [
+            [N(SyncKind.CREATE, obj=1), bar, N(SyncKind.JOIN, obj=1), END],
+            [bar, END],
+        ]
+        result = run(programs, [[0, 8, 0, 0], [20, 0]])
+        assert result.end_time == 20
+        assert result.idle[0] == pytest.approx(12)
+
+
+class TestTimeline:
+    def test_active_intervals_recorded(self):
+        programs = [[N(SyncKind.NONE), END]]
+        result = run(programs, [[5, 3]])
+        ivs = result.timeline.active[0]
+        assert len(ivs) == 2
+        assert ivs[0].start == 0 and ivs[0].end == 5
+        assert ivs[1].start == 5 and ivs[1].end == 8
+
+    def test_idle_cause_tagged(self):
+        programs, table = _barrier_programs([0, 10])
+        result = run(programs, table)
+        causes = result.timeline.idle_by_cause(0)
+        assert "barrier" in causes
+
+    def test_execute_called_once_per_segment(self):
+        calls = []
+        programs = [[N(SyncKind.NONE), N(SyncKind.NONE), END]]
+
+        def execute(tid, idx, start):
+            calls.append((tid, idx))
+            return 1.0
+
+        run_schedule(programs, execute)
+        assert calls == [(0, 0), (0, 1), (0, 2)]
+
+    def test_start_times_monotone_per_thread(self):
+        starts = []
+        programs = [[N(SyncKind.NONE), N(SyncKind.NONE), END]]
+
+        def execute(tid, idx, start):
+            starts.append(start)
+            return 2.0
+
+        run_schedule(programs, execute)
+        assert starts == sorted(starts)

@@ -1,0 +1,116 @@
+"""Tests for the multithreaded StatStack application layer."""
+
+import numpy as np
+import pytest
+
+from repro.profiler.histogram import RDHistogram
+from repro.profiler.profile import DataLocalityStats
+from repro.statstack.multithread import (
+    HierarchyMissRates,
+    hierarchy_miss_rates,
+    instruction_miss_rates,
+)
+
+
+def stats_from(private_rds, shared_rds, cold=0, inval=0):
+    private = RDHistogram(cold=cold, inval=inval)
+    private.add_many(np.asarray(private_rds, dtype=np.int64))
+    shared = RDHistogram(cold=cold)
+    shared.add_many(np.asarray(shared_rds, dtype=np.int64))
+    n = len(private_rds) + cold + inval
+    return DataLocalityStats(
+        private=private, shared=shared, n_accesses=n, n_stores=0
+    )
+
+
+class TestHierarchyMissRates:
+    def test_empty_stats(self, base_config):
+        rates = hierarchy_miss_rates(DataLocalityStats(), base_config)
+        assert rates == HierarchyMissRates(0.0, 0.0, 0.0, 0.0)
+
+    def test_rates_are_ordered(self, base_config):
+        stats = stats_from(
+            [10, 100, 1000, 10_000, 100_000] * 40,
+            [50, 500, 5000, 50_000, 500_000] * 40,
+            cold=10,
+        )
+        r = hierarchy_miss_rates(stats, base_config)
+        assert r.l1d >= r.l2 >= r.llc >= 0.0
+
+    def test_l1_resident_hits_everywhere(self, base_config):
+        stats = stats_from([5] * 200, [20] * 200)
+        r = hierarchy_miss_rates(stats, base_config)
+        assert r.l1d < 0.05
+        assert r.llc < 0.05
+
+    def test_coherence_component(self, base_config):
+        stats = stats_from([5] * 80, [20] * 80, inval=20)
+        r = hierarchy_miss_rates(stats, base_config)
+        assert r.coherence_l1 == pytest.approx(0.2)
+        # Invalidations are L1 misses at any capacity.
+        assert r.l1d >= r.coherence_l1
+
+    def test_sharing_lowers_llc_rate(self, base_config):
+        """Short *global* distances (sharing) -> LLC hits even when the
+        private distances are hopeless."""
+        shared_friendly = stats_from([10**6] * 100, [100] * 100)
+        isolated = stats_from([10**6] * 100, [10**6] * 100)
+        r_shared = hierarchy_miss_rates(shared_friendly, base_config)
+        r_isolated = hierarchy_miss_rates(isolated, base_config)
+        assert r_shared.llc < r_isolated.llc
+
+    def test_llc_clamped_to_l2(self, base_config):
+        """The hierarchy filters top-down even when the independent
+        estimates disagree."""
+        weird = stats_from([5] * 100, [10**7] * 100)
+        r = hierarchy_miss_rates(weird, base_config)
+        assert r.llc <= r.l2 + 1e-12
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            HierarchyMissRates(1.5, 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            HierarchyMissRates(0.5, -0.1, 0.0, 0.0)
+
+
+class TestInstructionMissRates:
+    def _pool(self, ifetch, n_fetches, small_profile):
+        import dataclasses
+        pool = max(small_profile.threads[1].pools.values(),
+                   key=lambda p: p.n_instructions)
+        return dataclasses.replace(
+            pool, ifetch=ifetch, n_fetches=n_fetches
+        )
+
+    def test_no_fetches(self, base_config, small_profile):
+        h = RDHistogram()
+        pool = self._pool(h, 0, small_profile)
+        assert instruction_miss_rates(pool, base_config) == (0, 0, 0)
+
+    def test_tiny_code_fits_l1i(self, base_config, small_profile):
+        h = RDHistogram()
+        h.add_many(np.full(500, 16))
+        pool = self._pool(h, 500, small_profile)
+        mi1, mi2, mi3 = instruction_miss_rates(pool, base_config)
+        assert mi1 < 0.05
+
+    def test_rates_ordered(self, base_config, small_profile):
+        h = RDHistogram(cold=20)
+        h.add_many(np.array([100, 1000, 10_000, 100_000] * 50))
+        pool = self._pool(h, 220, small_profile)
+        mi1, mi2, mi3 = instruction_miss_rates(pool, base_config)
+        assert mi1 >= mi2 >= mi3 >= 0
+
+
+class TestScalingLaw:
+    """Global distributions behave like scaled private ones when all
+    threads interleave uniformly without sharing (DESIGN §2)."""
+
+    def test_scaled_histogram_raises_miss_rate(self, base_config):
+        from repro.statstack.statstack import miss_rate
+        h = RDHistogram()
+        h.add_many(np.full(1000, 300))
+        l2_lines = base_config.l2.lines
+        base_rate = miss_rate(h, l2_lines)
+        scaled_rate = miss_rate(h.scaled(4.0), l2_lines)
+        assert scaled_rate >= base_rate

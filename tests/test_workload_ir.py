@@ -1,0 +1,212 @@
+"""Unit tests for the abstract-instruction IR."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.ir import (
+    OP_BRANCH,
+    OP_CLASSES,
+    OP_CODES,
+    OP_LOAD,
+    OP_STORE,
+    PC_SLOTS_PER_LINE,
+    Segment,
+    SyncKind,
+    SyncOp,
+    ThreadTrace,
+    TraceBlock,
+    WorkloadTrace,
+    fetch_lines,
+    instruction_pcs,
+)
+
+
+def block_of(op, dep=None, addr=None, taken=None, iline=None):
+    n = len(op)
+    return TraceBlock(
+        op=np.asarray(op, dtype=np.uint8),
+        dep=np.asarray(dep if dep is not None else [0] * n, dtype=np.int32),
+        addr=np.asarray(addr if addr is not None else [-1] * n,
+                        dtype=np.int64),
+        taken=np.asarray(taken if taken is not None else [0] * n,
+                         dtype=np.uint8),
+        iline=np.asarray(iline if iline is not None else [0] * n,
+                         dtype=np.int64),
+    )
+
+
+class TestSyncOp:
+    def test_barrier_requires_participants(self):
+        with pytest.raises(ValueError, match="participants"):
+            SyncOp(SyncKind.BARRIER, obj=1)
+
+    def test_cv_barrier_requires_participants(self):
+        with pytest.raises(ValueError, match="participants"):
+            SyncOp(SyncKind.CV_BARRIER, obj=1)
+
+    def test_put_requires_items(self):
+        with pytest.raises(ValueError, match="item"):
+            SyncOp(SyncKind.PC_PUT, obj=1, items=0)
+
+    def test_frozen(self):
+        op = SyncOp(SyncKind.NONE)
+        with pytest.raises(AttributeError):
+            op.obj = 3
+
+
+class TestTraceBlock:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            TraceBlock(
+                op=np.zeros(3, dtype=np.uint8),
+                dep=np.zeros(2, dtype=np.int32),
+                addr=np.zeros(3, dtype=np.int64),
+                taken=np.zeros(3, dtype=np.uint8),
+                iline=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_empty_block(self):
+        assert TraceBlock.empty().n_instructions == 0
+
+    def test_class_counts(self):
+        b = block_of([0, 0, 3, 5, 5, 5])
+        counts = b.class_counts()
+        assert len(counts) == len(OP_CLASSES)
+        assert counts[0] == 2
+        assert counts[OP_LOAD] == 1
+        assert counts[OP_BRANCH] == 3
+
+    def test_memory_indices(self):
+        b = block_of([OP_LOAD, 0, OP_STORE, OP_BRANCH])
+        assert b.memory_indices().tolist() == [0, 2]
+
+    def test_branch_indices(self):
+        b = block_of([OP_BRANCH, 0, OP_BRANCH])
+        assert b.branch_indices().tolist() == [0, 2]
+
+    def test_op_code_name_round_trip(self):
+        for name, code in OP_CODES.items():
+            assert OP_CLASSES[code] == name
+
+
+class TestInstructionPCs:
+    def test_pcs_advance_within_a_line(self):
+        b = block_of([0, 0, 0], iline=[7, 7, 7])
+        pcs = instruction_pcs(b)
+        assert pcs.tolist() == [
+            7 * PC_SLOTS_PER_LINE,
+            7 * PC_SLOTS_PER_LINE + 1,
+            7 * PC_SLOTS_PER_LINE + 2,
+        ]
+
+    def test_pcs_reset_on_line_change(self):
+        b = block_of([0] * 4, iline=[1, 1, 2, 2])
+        pcs = instruction_pcs(b)
+        assert pcs[2] == 2 * PC_SLOTS_PER_LINE
+        assert pcs[3] == 2 * PC_SLOTS_PER_LINE + 1
+
+    def test_offsets_saturate_at_slot_count(self):
+        b = block_of([0] * (PC_SLOTS_PER_LINE + 4),
+                     iline=[3] * (PC_SLOTS_PER_LINE + 4))
+        pcs = instruction_pcs(b)
+        assert pcs.max() == 3 * PC_SLOTS_PER_LINE + PC_SLOTS_PER_LINE - 1
+
+    def test_repeating_body_repeats_pcs(self):
+        """The same static location gets the same PC on every visit."""
+        iline = [1, 1, 2, 2, 1, 1, 2, 2]
+        b = block_of([0] * 8, iline=iline)
+        pcs = instruction_pcs(b)
+        assert pcs[0] == pcs[4]
+        assert pcs[3] == pcs[7]
+
+    def test_empty(self):
+        assert len(instruction_pcs(TraceBlock.empty())) == 0
+
+
+class TestFetchLines:
+    def test_runs_collapse(self):
+        b = block_of([0] * 6, iline=[1, 1, 2, 2, 2, 3])
+        assert fetch_lines(b).tolist() == [1, 2, 3]
+
+    def test_revisits_fetch_again(self):
+        b = block_of([0] * 4, iline=[1, 2, 1, 2])
+        assert fetch_lines(b).tolist() == [1, 2, 1, 2]
+
+    def test_empty(self):
+        assert len(fetch_lines(TraceBlock.empty())) == 0
+
+
+def _simple_trace(events_by_thread):
+    threads = []
+    for tid, events in enumerate(events_by_thread):
+        segs = [
+            Segment(block=TraceBlock.empty(), event=e) for e in events
+        ]
+        threads.append(ThreadTrace(thread_id=tid, segments=segs))
+    return WorkloadTrace(name="t", threads=threads)
+
+
+class TestWorkloadTraceValidation:
+    def test_valid_create_join_end(self):
+        trace = _simple_trace([
+            [SyncOp(SyncKind.CREATE, obj=1),
+             SyncOp(SyncKind.JOIN, obj=1),
+             SyncOp(SyncKind.END)],
+            [SyncOp(SyncKind.END)],
+        ])
+        trace.validate()
+
+    def test_thread_never_created(self):
+        trace = _simple_trace([
+            [SyncOp(SyncKind.END)],
+            [SyncOp(SyncKind.END)],
+        ])
+        with pytest.raises(ValueError, match="never created"):
+            trace.validate()
+
+    def test_double_create(self):
+        trace = _simple_trace([
+            [SyncOp(SyncKind.CREATE, obj=1),
+             SyncOp(SyncKind.CREATE, obj=1),
+             SyncOp(SyncKind.END)],
+            [SyncOp(SyncKind.END)],
+        ])
+        with pytest.raises(ValueError, match="created twice"):
+            trace.validate()
+
+    def test_create_unknown_thread(self):
+        trace = _simple_trace([
+            [SyncOp(SyncKind.CREATE, obj=7), SyncOp(SyncKind.END)],
+        ])
+        with pytest.raises(ValueError, match="unknown thread"):
+            trace.validate()
+
+    def test_missing_end(self):
+        trace = _simple_trace([[SyncOp(SyncKind.NONE)]])
+        with pytest.raises(ValueError, match="does not END"):
+            trace.validate()
+
+    def test_unbalanced_lock(self):
+        trace = _simple_trace([
+            [SyncOp(SyncKind.LOCK, obj=1), SyncOp(SyncKind.END)],
+        ])
+        with pytest.raises(ValueError, match="leaves a lock held"):
+            trace.validate()
+
+    def test_unlock_without_lock(self):
+        trace = _simple_trace([
+            [SyncOp(SyncKind.UNLOCK, obj=1), SyncOp(SyncKind.END)],
+        ])
+        with pytest.raises(ValueError, match="UNLOCK without LOCK"):
+            trace.validate()
+
+    def test_thread_ids_must_be_dense(self):
+        threads = [ThreadTrace(thread_id=1, segments=[])]
+        with pytest.raises(ValueError, match="dense"):
+            WorkloadTrace(name="t", threads=threads)
+
+    def test_instruction_count_sums_threads(self):
+        b = block_of([0, 0, 0])
+        threads = [ThreadTrace(0, [Segment(b, SyncOp(SyncKind.END))])]
+        trace = WorkloadTrace(name="t", threads=threads)
+        assert trace.n_instructions == 3

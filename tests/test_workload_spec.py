@@ -1,0 +1,163 @@
+"""Unit tests for workload specifications (EpochSpec & friends)."""
+
+import pytest
+
+from repro.workloads import kernels as k
+from repro.workloads.spec import (
+    BranchSpec,
+    EpochSpec,
+    MemPattern,
+    SegmentPlan,
+    WorkloadSpec,
+)
+
+
+class TestMemPattern:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown pattern kind"):
+            MemPattern(kind="zigzag", lines=10)
+
+    def test_non_positive_footprint(self):
+        with pytest.raises(ValueError):
+            MemPattern(kind="stream", lines=0)
+
+    def test_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            MemPattern(kind="stream", lines=8, weight=0.0)
+
+    def test_hot_frac_must_be_probability(self):
+        with pytest.raises(ValueError):
+            MemPattern(kind="working_set", lines=8, hot_frac=1.5)
+
+    def test_hot_lines_within_footprint(self):
+        with pytest.raises(ValueError):
+            MemPattern(kind="working_set", lines=8, hot_lines=9)
+
+    def test_effective_hot_lines_defaults_to_sixteenth(self):
+        p = MemPattern(kind="working_set", lines=1600)
+        assert p.effective_hot_lines() == 100
+
+    def test_effective_hot_lines_explicit(self):
+        p = MemPattern(kind="working_set", lines=1600, hot_lines=7)
+        assert p.effective_hot_lines() == 7
+
+    def test_effective_hot_lines_at_least_one(self):
+        p = MemPattern(kind="working_set", lines=3)
+        assert p.effective_hot_lines() == 1
+
+
+class TestBranchSpec:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown branch kind"):
+            BranchSpec(kind="chaotic")
+
+    def test_p_taken_bounds(self):
+        with pytest.raises(ValueError):
+            BranchSpec(kind="biased", p_taken=1.2)
+
+    def test_period_minimum(self):
+        with pytest.raises(ValueError):
+            BranchSpec(kind="loop", period=1)
+
+    def test_noise_bounds(self):
+        with pytest.raises(ValueError):
+            BranchSpec(kind="periodic", noise=0.7)
+
+
+class TestEpochSpec:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            EpochSpec(n=10, mix={"ialu": 0.5})
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown micro-op classes"):
+            EpochSpec(n=10, mix={"vector": 1.0})
+
+    def test_zero_instructions_allowed(self):
+        spec = EpochSpec(n=0)
+        assert spec.n == 0
+
+    def test_negative_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            EpochSpec(n=-1)
+
+    def test_mean_dep_at_least_one(self):
+        with pytest.raises(ValueError):
+            EpochSpec(n=10, mean_dep=0.5)
+
+    def test_needs_a_memory_pattern(self):
+        with pytest.raises(ValueError, match="memory pattern"):
+            EpochSpec(n=10, mem=())
+
+    def test_stores_need_a_store_ok_pattern(self):
+        read_only = MemPattern(kind="working_set", lines=64,
+                               store_ok=False)
+        with pytest.raises(ValueError, match="stores"):
+            EpochSpec(n=10, mem=(read_only,))
+
+    def test_scaled_changes_only_n(self):
+        spec = EpochSpec(n=1000, mean_dep=2.5)
+        scaled = spec.scaled(0.5)
+        assert scaled.n == 500
+        assert scaled.mean_dep == 2.5
+        assert scaled.mix == spec.mix
+
+    def test_scaled_rounds(self):
+        assert EpochSpec(n=3).scaled(0.5).n == 2  # round(1.5) banker's
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EpochSpec(n=10).scaled(-1.0)
+
+    def test_frozen(self):
+        spec = EpochSpec(n=10)
+        with pytest.raises(AttributeError):
+            spec.n = 20
+
+
+class TestKernelPresets:
+    def test_mix_normalizes(self):
+        m = k.mix(ialu=2, fp=2)
+        assert m["ialu"] == pytest.approx(0.5)
+        assert sum(m.values()) == pytest.approx(1.0)
+
+    def test_mix_rejects_empty(self):
+        with pytest.raises(ValueError):
+            k.mix()
+
+    @pytest.mark.parametrize("preset", [
+        k.FP_COMPUTE, k.INT_CONTROL, k.MEM_STREAM, k.GENERIC,
+    ])
+    def test_presets_are_normalized(self, preset):
+        assert sum(preset.values()) == pytest.approx(1.0)
+
+    def test_shared_read_rejects_stores(self):
+        assert not k.shared_read(100).store_ok
+
+    def test_shared_rw_accepts_stores(self):
+        assert k.shared_rw(100).store_ok
+
+    def test_shared_patterns_are_shared(self):
+        assert k.shared_read(100).shared
+        assert k.shared_rw(100).shared
+
+    def test_private_patterns_are_private(self):
+        assert not k.stream(100).shared
+        assert not k.working_set(100).shared
+        assert not k.pointer_chase(100).shared
+
+
+class TestWorkloadSpec:
+    def test_plan_count_must_match_threads(self):
+        with pytest.raises(ValueError, match="one plan list per thread"):
+            WorkloadSpec(name="w", n_threads=2, plans=[[]])
+
+    def test_n_instructions_sums_plans(self):
+        from repro.workloads.ir import SyncKind, SyncOp
+        spec = EpochSpec(n=100)
+        plans = [[
+            SegmentPlan(spec, SyncOp(SyncKind.NONE)),
+            SegmentPlan(None, SyncOp(SyncKind.END)),
+        ]]
+        w = WorkloadSpec(name="w", n_threads=1, plans=plans)
+        assert w.n_instructions == 100
