@@ -1,0 +1,54 @@
+"""Profiler-throughput benches (the BENCH trajectory).
+
+Tracks the vectorized reuse-distance engine against the preserved seed
+scalar implementation on identical Rodinia access streams, plus the
+end-to-end suite profiling wall-clock.  The measurement logic lives in
+:mod:`repro.experiments.bench` (also wired to ``python -m repro
+bench``); this module is its pytest face, ``perf``-marked so plain
+test runs skip it (``pytest benchmarks/bench_profiler.py`` or
+``-m perf`` to run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.bench import (
+    extract_streams,
+    render_bench,
+    run_profiler_bench,
+    _run_scalar,
+    _run_vectorized,
+)
+from repro.experiments.suites import rodinia_suite
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return extract_streams(rodinia_suite(), scale=1.0)
+
+
+def test_bench_vectorized_engine(benchmark, streams):
+    benchmark.pedantic(
+        _run_vectorized, args=(streams,), rounds=5, iterations=1
+    )
+
+
+def test_bench_scalar_reference(benchmark, streams):
+    benchmark.pedantic(
+        _run_scalar, args=(streams,), rounds=2, iterations=1
+    )
+
+
+def test_bench_speedup_record(tmp_path, report):
+    """Full-suite record: asserts the vectorized engine's advantage and
+    feeds the session report."""
+    out = tmp_path / "BENCH_profiler.json"
+    result = run_profiler_bench(quick=False, output=str(out))
+    report("BENCH profiler", render_bench(result))
+    assert out.exists()
+    # The acceptance target is 10x on this machine class; leave head-
+    # room for noisy shared runners.
+    assert result["collector"]["speedup"] >= 5.0

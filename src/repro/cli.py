@@ -8,6 +8,8 @@ Commands mirror the paper's workflow (Fig. 1):
 * ``compare``  — predict *and* simulate, report the error and stacks.
 * ``report``   — regenerate a paper artifact (table1/table3/figure4/
   figure5/table5/figure6/ablations) and print it.
+* ``bench``    — measure profiling throughput (vectorized vs seed
+  scalar engine) and write ``BENCH_profiler.json``.
 * ``list``     — list benchmarks and design points.
 """
 
@@ -174,6 +176,17 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.experiments.bench import render_bench, run_profiler_bench
+    result = run_profiler_bench(
+        quick=args.quick, scale=args.scale, output=args.output
+    )
+    print(render_bench(result))
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -219,6 +232,15 @@ def build_parser() -> argparse.ArgumentParser:
         "ablations",
     ])
     p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser(
+        "bench", help="measure profiling throughput (BENCH trajectory)"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small benchmark subset, fewer repetitions")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-o", "--output", default="BENCH_profiler.json",
+                   help="JSON record path (default BENCH_profiler.json)")
     return parser
 
 
@@ -235,6 +257,7 @@ def main(argv: Optional[list] = None) -> int:
         "simulate": cmd_simulate,
         "compare": cmd_compare,
         "report": cmd_report,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,225 @@
+"""Profiling-throughput benchmark (the BENCH trajectory).
+
+Measures the component the paper's "rapid" claim rests on — how fast
+the profiling front-end turns a workload's access stream into
+reuse-distance statistics — by replaying the *exact* chunk schedules
+the profiler records through
+
+* the vectorized whole-trace engine (:mod:`repro.profiler.batch`), and
+* the seed scalar collectors (:mod:`repro.profiler.reference`),
+
+on identical inputs, plus the end-to-end suite wall-clock through
+:func:`repro.profiler.profiler.profile_workload`.  Results are written
+as machine-readable ``BENCH_profiler.json`` so the speedup is tracked
+across PRs (``python -m repro bench``; the pytest face lives in
+``benchmarks/bench_profiler.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.suites import (
+    BenchmarkRef,
+    build_workload,
+    rodinia_suite,
+)
+from repro.profiler.batch import replay_data, replay_fetch
+from repro.profiler.histogram import RDHistogram
+from repro.profiler.locality import PoolLocality
+from repro.profiler.profiler import profile_workload
+from repro.profiler.reference import (
+    ScalarFetchLocality,
+    ScalarLocalityCollector,
+)
+from repro.runtime.chunking import chunk_trace
+from repro.workloads.generator import expand
+from repro.workloads.ir import OP_STORE, fetch_lines
+
+BENCH_SCHEMA = 1
+#: Quick-mode subset: three locality personalities plus streamcluster,
+#: whose sparse address space exercises the engine's fallback path.
+QUICK_BENCHMARKS = ("hotspot", "bfs", "srad", "streamcluster")
+
+
+class SuiteStreams:
+    """The access streams of one benchmark, in profiler chunk order."""
+
+    __slots__ = ("label", "n_threads", "data", "fetch")
+
+    def __init__(self, label: str, n_threads: int) -> None:
+        self.label = label
+        self.n_threads = n_threads
+        #: (tid, pool index, line addrs, store mask) per chunk.
+        self.data: List[Tuple[int, int, np.ndarray, np.ndarray]] = []
+        #: Per thread: (pool index, fetch lines) per chunk.
+        self.fetch: List[List[Tuple[int, np.ndarray]]] = [
+            [] for _ in range(n_threads)
+        ]
+
+    @property
+    def n_accesses(self) -> int:
+        return sum(len(c[2]) for c in self.data)
+
+    @property
+    def n_fetches(self) -> int:
+        return sum(len(f[1]) for fs in self.fetch for f in fs)
+
+
+def extract_streams(
+    refs: Sequence[BenchmarkRef], scale: float, chunk: int = 4096
+) -> List[SuiteStreams]:
+    """Expand and chunk benchmarks into replayable access streams.
+
+    Pool attribution is simplified to one pool per thread — the
+    throughput of the engines depends on stream content, not on how
+    many pools the counts land in.
+    """
+    out = []
+    for ref in refs:
+        trace = expand(build_workload(ref, scale))
+        ctrace = chunk_trace(trace, chunk)
+        streams = SuiteStreams(ref.label, ctrace.n_threads)
+        for t in ctrace.threads:
+            for seg in t.segments:
+                block = seg.block
+                mem = block.memory_indices()
+                if len(mem):
+                    streams.data.append((
+                        t.thread_id, t.thread_id,
+                        block.addr[mem], block.op[mem] == OP_STORE,
+                    ))
+                lines = fetch_lines(block)
+                if len(lines):
+                    streams.fetch[t.thread_id].append(
+                        (t.thread_id, lines)
+                    )
+        out.append(streams)
+    return out
+
+
+def _run_vectorized(streams: List[SuiteStreams]) -> None:
+    for s in streams:
+        pools = [PoolLocality() for _ in range(s.n_threads)]
+        replay_data(s.data, s.n_threads, pools)
+        hists = [RDHistogram() for _ in range(s.n_threads)]
+        for tid in range(s.n_threads):
+            replay_fetch(s.fetch[tid], hists)
+
+
+def _run_scalar(streams: List[SuiteStreams]) -> None:
+    for s in streams:
+        collector = ScalarLocalityCollector(s.n_threads)
+        pools = [PoolLocality() for _ in range(s.n_threads)]
+        for tid, pidx, addrs, stores in s.data:
+            collector.process(tid, addrs, stores, pools[pidx])
+        hists = [RDHistogram() for _ in range(s.n_threads)]
+        for tid in range(s.n_threads):
+            fetcher = ScalarFetchLocality()
+            for pidx, lines in s.fetch[tid]:
+                fetcher.process(lines, hists[pidx])
+
+
+def _interleaved(fn_a, fn_b, reps: int) -> Tuple[float, float]:
+    """Median times of two competitors measured back to back.
+
+    Alternating the runs (instead of timing each in its own block)
+    exposes both to the same background-load environment, and the
+    median resists the one-off stalls that a min-of or a single
+    measurement would turn into a skewed ratio.
+    """
+    times_a, times_b = [], []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn_a()
+        times_a.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        times_b.append(time.perf_counter() - t0)
+    return (
+        float(np.median(times_a)), float(np.median(times_b))
+    )
+
+
+def run_profiler_bench(
+    quick: bool = False,
+    scale: float = 1.0,
+    reps: Optional[int] = None,
+    output: Optional[str] = None,
+) -> Dict:
+    """Measure profiling throughput; optionally write the JSON record.
+
+    ``quick`` restricts the suite to :data:`QUICK_BENCHMARKS` and
+    lowers the repetition count — a smoke-test sized run for CI and
+    the ``--quick`` CLI flag.  The full mode replays the entire
+    Rodinia suite (the paper's Table II set).
+    """
+    refs = rodinia_suite()
+    if quick:
+        keep = set(QUICK_BENCHMARKS)
+        refs = [r for r in refs if r.name in keep]
+    if reps is None:
+        reps = 2 if quick else 3
+    streams = extract_streams(refs, scale)
+    accesses = sum(s.n_accesses for s in streams)
+    fetches = sum(s.n_fetches for s in streams)
+
+    _run_vectorized(streams)  # warm-up: page in streams and code paths
+    vec_s, scalar_s = _interleaved(
+        lambda: _run_vectorized(streams),
+        lambda: _run_scalar(streams),
+        reps,
+    )
+
+    t0 = time.perf_counter()
+    instructions = 0
+    for ref in refs:
+        trace = expand(build_workload(ref, scale))
+        profile = profile_workload(trace)
+        instructions += profile.n_instructions
+    suite_s = time.perf_counter() - t0
+
+    total = accesses + fetches
+    result = {
+        "schema": BENCH_SCHEMA,
+        "mode": "quick" if quick else "full",
+        "scale": scale,
+        "benchmarks": [r.label for r in refs],
+        "collector": {
+            "data_accesses": int(accesses),
+            "fetches": int(fetches),
+            "vectorized_s": vec_s,
+            "scalar_s": scalar_s,
+            "vectorized_aps": total / vec_s,
+            "scalar_aps": total / scalar_s,
+            "speedup": scalar_s / vec_s,
+        },
+        "suite": {
+            "wall_clock_s": suite_s,
+            "instructions": int(instructions),
+            "ips": instructions / suite_s,
+        },
+    }
+    if output:
+        with open(output, "w") as fh:
+            json.dump(result, fh, indent=2)
+    return result
+
+
+def render_bench(result: Dict) -> str:
+    """Human-readable summary of a bench record."""
+    c = result["collector"]
+    s = result["suite"]
+    return "\n".join([
+        f"profiler bench ({result['mode']}, scale={result['scale']}, "
+        f"{len(result['benchmarks'])} benchmarks)",
+        f"  reuse-distance engine: {c['vectorized_aps'] / 1e6:6.2f} M "
+        f"accesses/s vectorized vs {c['scalar_aps'] / 1e6:5.2f} M "
+        f"scalar  ({c['speedup']:.1f}x)",
+        f"  suite profiling      : {s['instructions']:,} micro-ops in "
+        f"{s['wall_clock_s']:.2f}s ({s['ips'] / 1e6:.2f} M instr/s)",
+    ])

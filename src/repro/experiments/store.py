@@ -1,0 +1,187 @@
+"""Versioned on-disk persistence for profiles, predictions, simulations.
+
+The paper's whole premise is that the profile is a *one-time cost*
+(Fig. 1): collect once, predict many design points.  This module makes
+that literal across processes and across runs — a content-addressed
+cache directory keyed by workload identity (suite benchmark, seed,
+scale, chunking) and, for predictions/simulations, the configuration
+fingerprint.
+
+Layout: ``<root>/<kind>/<key>.<ext>`` where ``kind`` is ``profiles``
+(JSON via ``WorkloadProfile.to_dict``), ``predictions`` or
+``simulations`` (pickled result dataclasses).  Every artifact embeds
+``SCHEMA_VERSION``; stale-version, truncated or otherwise corrupt
+files are treated as misses, so a cache survives arbitrary upgrades by
+silently recomputing.
+
+Keys are deterministic SHA-256 fingerprints of canonicalized
+structures — Python's salted ``hash()`` is useless across processes,
+which is exactly where the parallel pipeline needs stable keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from enum import Enum
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.profiler.profile import WorkloadProfile
+
+#: Bump when any persisted artifact's layout or producing algorithm
+#: changes incompatibly; old entries then read as cache misses.
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+def _canonical(obj: Any) -> Any:
+    """JSON-serializable canonical form of configs/keys (deterministic)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            **{
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def fingerprint(obj: Any) -> str:
+    """Stable SHA-256 hex digest of an arbitrary key structure."""
+    payload = json.dumps(
+        _canonical(obj), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def config_fingerprint(config: Any) -> str:
+    """Deterministic digest of an architecture configuration."""
+    return fingerprint(config)
+
+
+def default_root() -> Path:
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ProfileStore:
+    """Content-addressed artifact store under one root directory.
+
+    All loads are *best effort*: a missing, stale-version or corrupt
+    file returns ``None`` and the caller recomputes (and usually
+    re-saves, healing the cache).  Writes go through a temp file +
+    rename so concurrent workers never observe partial artifacts.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_root()
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def profile_key(
+        label: str, seed: int, scale: float, chunk: int
+    ) -> str:
+        return fingerprint({
+            "kind": "profile",
+            "schema": SCHEMA_VERSION,
+            "label": label,
+            "seed": seed,
+            "scale": scale,
+            "chunk": chunk,
+        })
+
+    @staticmethod
+    def result_key(
+        kind: str, label: str, seed: int, scale: float, config: Any
+    ) -> str:
+        return fingerprint({
+            "kind": kind,
+            "schema": SCHEMA_VERSION,
+            "label": label,
+            "seed": seed,
+            "scale": scale,
+            "config": _canonical(config),
+        })
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _path(self, kind: str, key: str, ext: str) -> Path:
+        return self.root / kind / f"{key}.{ext}"
+
+    def _write(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- profiles (JSON) ----------------------------------------------------
+
+    def save_profile(self, key: str, profile: WorkloadProfile) -> Path:
+        path = self._path("profiles", key, "json")
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "profile": profile.to_dict(),
+        }
+        self._write(path, json.dumps(payload).encode())
+        return path
+
+    def load_profile(self, key: str) -> Optional[WorkloadProfile]:
+        path = self._path("profiles", key, "json")
+        try:
+            with open(path, "rb") as fh:
+                payload = json.load(fh)
+            if payload.get("schema") != SCHEMA_VERSION:
+                return None
+            return WorkloadProfile.from_dict(payload["profile"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    # -- predictions / simulations (pickle) ---------------------------------
+
+    def save_result(self, kind: str, key: str, result: Any) -> Path:
+        path = self._path(kind, key, "pkl")
+        payload = pickle.dumps(
+            {"schema": SCHEMA_VERSION, "result": result}
+        )
+        self._write(path, payload)
+        return path
+
+    def load_result(self, kind: str, key: str) -> Optional[Any]:
+        path = self._path(kind, key, "pkl")
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("schema") != SCHEMA_VERSION:
+                return None
+            return payload["result"]
+        except Exception:
+            return None

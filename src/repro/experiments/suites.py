@@ -2,17 +2,32 @@
 
 The paper evaluates all sixteen Rodinia benchmarks plus ten Parsec
 benchmarks on a quad-core machine.  Several experiments (Figures 4-6)
-need the same profiles and simulations, so this module provides a
-process-local cache keyed by (suite, benchmark, scale, configuration).
+need the same profiles and simulations, so this module provides the
+shared :class:`RunCache` — a three-level pipeline:
+
+1. an in-process memo (dict) per artifact kind,
+2. an optional versioned on-disk :class:`~repro.experiments.store.
+   ProfileStore`, shared across processes *and* across runs,
+3. :meth:`RunCache.prefetch`, which fans profiling / prediction /
+   simulation of many benchmarks out over a ``ProcessPoolExecutor``
+   and funnels the results back through levels 1-2.
+
+Everything is keyed by (suite, benchmark, scale, chunk) plus — for
+predictions and simulations — a deterministic configuration
+fingerprint, so a cache entry is valid exactly as long as its inputs
+are.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.config import MulticoreConfig
 from repro.core.rppm import PredictionResult, predict
+from repro.experiments.store import ProfileStore
 from repro.profiler.profile import WorkloadProfile
 from repro.profiler.profiler import profile_workload
 from repro.simulator.multicore import simulate
@@ -66,6 +81,31 @@ def build_workload(ref: BenchmarkRef, scale: float = 1.0):
     return parsec_workload(ref.name, scale=scale)
 
 
+def _prefetch_worker(
+    suite: str,
+    name: str,
+    scale: float,
+    chunk: int,
+    configs: Sequence[MulticoreConfig],
+    do_sim: bool,
+) -> Tuple[str, WorkloadProfile, list, list]:
+    """Profile (and optionally predict/simulate) one benchmark.
+
+    Runs in a worker process; everything returned must pickle.  The
+    parent installs the results into its memory cache and persists
+    them, so workers never write the store concurrently.
+    """
+    ref = BenchmarkRef(suite, name)
+    spec = build_workload(ref, scale)
+    trace = expand(spec)
+    profile = profile_workload(trace, chunk=chunk)
+    preds = [predict(profile, config) for config in configs]
+    sims = (
+        [simulate(trace, config) for config in configs] if do_sim else []
+    )
+    return ref.label, profile, preds, sims
+
+
 class RunCache:
     """Memoised traces, profiles, predictions and simulations.
 
@@ -73,10 +113,23 @@ class RunCache:
     profile and simulate each benchmark once.  The profile cache key is
     (benchmark, scale); prediction/simulation keys additionally carry
     the configuration (hashable by design).
+
+    With a ``store`` attached, profiles (JSON) and predictions /
+    simulations (pickles) also persist to a versioned on-disk cache
+    keyed by workload seed + scale + chunk + config fingerprint, shared
+    across processes and across runs; corrupt or stale entries fall
+    back to recomputation.
     """
 
-    def __init__(self, scale: float = 1.0):
+    def __init__(
+        self,
+        scale: float = 1.0,
+        store: Optional[ProfileStore] = None,
+        chunk: int = 4096,
+    ):
         self.scale = scale
+        self.store = store
+        self.chunk = chunk
         self._traces: Dict[str, WorkloadTrace] = {}
         self._profiles: Dict[str, WorkloadProfile] = {}
         self._predictions: Dict[
@@ -85,6 +138,25 @@ class RunCache:
         self._simulations: Dict[
             Tuple[str, MulticoreConfig], SimulationResult
         ] = {}
+
+    # -- store keys ---------------------------------------------------------
+
+    def _seed(self, ref: BenchmarkRef) -> int:
+        return int(build_workload(ref, self.scale).seed)
+
+    def _profile_key(self, ref: BenchmarkRef) -> str:
+        return ProfileStore.profile_key(
+            ref.label, self._seed(ref), self.scale, self.chunk
+        )
+
+    def _result_key(
+        self, kind: str, ref: BenchmarkRef, config: MulticoreConfig
+    ) -> str:
+        return ProfileStore.result_key(
+            kind, ref.label, self._seed(ref), self.scale, config
+        )
+
+    # -- artifacts ----------------------------------------------------------
 
     def trace(self, ref: BenchmarkRef) -> WorkloadTrace:
         if ref.label not in self._traces:
@@ -95,7 +167,18 @@ class RunCache:
 
     def profile(self, ref: BenchmarkRef) -> WorkloadProfile:
         if ref.label not in self._profiles:
-            self._profiles[ref.label] = profile_workload(self.trace(ref))
+            profile = None
+            if self.store is not None:
+                profile = self.store.load_profile(self._profile_key(ref))
+            if profile is None:
+                profile = profile_workload(
+                    self.trace(ref), chunk=self.chunk
+                )
+                if self.store is not None:
+                    self.store.save_profile(
+                        self._profile_key(ref), profile
+                    )
+            self._profiles[ref.label] = profile
         return self._profiles[ref.label]
 
     def prediction(
@@ -103,7 +186,22 @@ class RunCache:
     ) -> PredictionResult:
         key = (ref.label, config)
         if key not in self._predictions:
-            self._predictions[key] = predict(self.profile(ref), config)
+            result = None
+            if self.store is not None:
+                result = self.store.load_result(
+                    "predictions", self._result_key(
+                        "prediction", ref, config
+                    )
+                )
+            if result is None:
+                result = predict(self.profile(ref), config)
+                if self.store is not None:
+                    self.store.save_result(
+                        "predictions",
+                        self._result_key("prediction", ref, config),
+                        result,
+                    )
+            self._predictions[key] = result
         return self._predictions[key]
 
     def simulation(
@@ -111,8 +209,128 @@ class RunCache:
     ) -> SimulationResult:
         key = (ref.label, config)
         if key not in self._simulations:
-            self._simulations[key] = simulate(self.trace(ref), config)
+            result = None
+            if self.store is not None:
+                result = self.store.load_result(
+                    "simulations", self._result_key(
+                        "simulation", ref, config
+                    )
+                )
+            if result is None:
+                result = simulate(self.trace(ref), config)
+                if self.store is not None:
+                    self.store.save_result(
+                        "simulations",
+                        self._result_key("simulation", ref, config),
+                        result,
+                    )
+            self._simulations[key] = result
         return self._simulations[key]
+
+    # -- parallel pipeline --------------------------------------------------
+
+    def prefetch(
+        self,
+        refs: Iterable[BenchmarkRef],
+        configs: Sequence[MulticoreConfig] = (),
+        workers: Optional[int] = None,
+        simulate: bool = False,
+    ) -> List[str]:
+        """Profile (and optionally predict/simulate) many benchmarks.
+
+        Benchmarks not already satisfied by the memory or disk cache
+        are dispatched to a ``ProcessPoolExecutor`` with ``workers``
+        processes (default: CPU count; values <= 1 run serially
+        in-process).  Results land in the memory cache and, when a
+        store is attached, on disk — so subsequent :meth:`profile` /
+        :meth:`prediction` / :meth:`simulation` calls are hits.
+
+        Returns the labels that were actually (re)computed.
+        """
+        todo: List[BenchmarkRef] = []
+        for ref in refs:
+            needs_profile = ref.label not in self._profiles
+            if needs_profile and self.store is not None:
+                cached = self.store.load_profile(self._profile_key(ref))
+                if cached is not None:
+                    self._profiles[ref.label] = cached
+                    needs_profile = False
+            needs_results = False
+            for config in configs:
+                if (ref.label, config) not in self._predictions:
+                    hit = None
+                    if self.store is not None:
+                        hit = self.store.load_result(
+                            "predictions", self._result_key(
+                                "prediction", ref, config
+                            )
+                        )
+                    if hit is not None:
+                        self._predictions[(ref.label, config)] = hit
+                    else:
+                        needs_results = True
+                if simulate and (
+                    (ref.label, config) not in self._simulations
+                ):
+                    hit = None
+                    if self.store is not None:
+                        hit = self.store.load_result(
+                            "simulations", self._result_key(
+                                "simulation", ref, config
+                            )
+                        )
+                    if hit is not None:
+                        self._simulations[(ref.label, config)] = hit
+                    else:
+                        needs_results = True
+            if needs_profile or needs_results:
+                todo.append(ref)
+
+        if not todo:
+            return []
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers <= 1 or len(todo) == 1:
+            for ref in todo:
+                self.profile(ref)
+                for config in configs:
+                    self.prediction(ref, config)
+                    if simulate:
+                        self.simulation(ref, config)
+            return [ref.label for ref in todo]
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _prefetch_worker, ref.suite, ref.name, self.scale,
+                    self.chunk, list(configs), simulate,
+                )
+                for ref in todo
+            ]
+            for ref, future in zip(todo, futures):
+                label, profile, preds, sims = future.result()
+                self._profiles[label] = profile
+                if self.store is not None:
+                    self.store.save_profile(
+                        self._profile_key(ref), profile
+                    )
+                for config, pred in zip(configs, preds):
+                    self._predictions[(label, config)] = pred
+                    if self.store is not None:
+                        self.store.save_result(
+                            "predictions",
+                            self._result_key("prediction", ref, config),
+                            pred,
+                        )
+                for config, sim in zip(configs, sims):
+                    self._simulations[(label, config)] = sim
+                    if self.store is not None:
+                        self.store.save_result(
+                            "simulations",
+                            self._result_key("simulation", ref, config),
+                            sim,
+                        )
+        return [ref.label for ref in todo]
 
 
 #: Default shared cache used by the benchmark harness.

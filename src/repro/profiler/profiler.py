@@ -11,6 +11,14 @@ Statistics are pooled per (thread, code region): segments generated
 from the same static code share one pool, exactly as a Pin tool
 aggregates by static program location.  Pooling keeps profiles compact
 even for workloads with millions of tiny critical sections.
+
+Performance shape: all per-segment index work (operand-class masks,
+memory/branch extraction, synthetic PCs, fetch-line collapsing) is
+hoisted out of the scheduler callback into a single precompute pass
+(:func:`_prepare_thread`), and the reuse-distance analysis is deferred:
+the callback merely records the chunk interleaving, which the
+whole-trace engine in :mod:`repro.profiler.batch` then processes with
+O(N log N) total array work.
 """
 
 from __future__ import annotations
@@ -19,14 +27,11 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.profiler.batch import replay_data, replay_fetch
 from repro.profiler.branchprof import branch_stats
 from repro.profiler.histogram import RDHistogram
 from repro.profiler.ilp import MICROTRACE_LEN, build_ilp_table
-from repro.profiler.locality import (
-    FetchLocality,
-    LocalityCollector,
-    PoolLocality,
-)
+from repro.profiler.locality import PoolLocality
 from repro.profiler.profile import (
     DataLocalityStats,
     EpochProfile,
@@ -38,9 +43,11 @@ from repro.runtime.chunking import chunk_trace
 from repro.runtime.scheduler import run_schedule
 from repro.workloads.generator import expand
 from repro.workloads.ir import (
+    OP_BRANCH,
     OP_CLASSES,
     OP_LOAD,
     OP_STORE,
+    TraceBlock,
     WorkloadTrace,
     fetch_lines,
     instruction_pcs,
@@ -57,13 +64,16 @@ class _PoolAccum:
     """Mutable accumulator for one (thread, code-region) pool."""
 
     __slots__ = (
-        "key", "n_instructions", "n_segments", "class_counts",
+        "key", "index", "n_instructions", "n_segments", "class_counts",
         "branch_streams", "branch_stored", "ilp_samples",
         "loads", "chained_loads", "locality", "ifetch", "n_fetches",
     )
 
-    def __init__(self, key: int) -> None:
+    def __init__(self, key: int, index: int) -> None:
         self.key = key
+        #: Position in the profile-wide pool list (chunk attribution
+        #: index for the batch locality engine).
+        self.index = index
         self.n_instructions = 0
         self.n_segments = 0
         self.class_counts = np.zeros(len(OP_CLASSES), dtype=np.int64)
@@ -77,7 +87,6 @@ class _PoolAccum:
         self.n_fetches = 0
 
     def finalize(self) -> EpochProfile:
-        loads = max(1, self.loads)
         return EpochProfile(
             key=self.key,
             n_instructions=self.n_instructions,
@@ -93,9 +102,78 @@ class _PoolAccum:
             ),
             ifetch=self.ifetch,
             n_fetches=self.n_fetches,
-            load_chain_frac=self.chained_loads / loads if self.loads else 0.0,
-            samples=list(self.ilp_samples),
+            load_chain_frac=(
+                self.chained_loads / self.loads if self.loads else 0.0
+            ),
+            # The micro-traces double as the profile's raw dependence
+            # samples; sharing the list (the accumulator is discarded
+            # after finalize) avoids a second copy of every sample.
+            samples=self.ilp_samples,
         )
+
+
+class _SegmentPrep:
+    """Derived per-segment views, computed once before the replay."""
+
+    __slots__ = (
+        "n", "key", "class_counts", "mem_addr", "mem_store",
+        "branch_pcs", "branch_taken", "loads", "chained_loads",
+        "fetch", "ilp_op", "ilp_dep",
+    )
+
+
+def _prepare_block(block: TraceBlock) -> _SegmentPrep:
+    """Hoisted per-segment index computations.
+
+    The scheduler callback used to recompute the memory/branch/load
+    index sets and synthetic PCs for every chunk; doing it here, in one
+    pass per chunk with shared operand-class masks, keeps the replay
+    callback allocation-free.
+    """
+    prep = _SegmentPrep()
+    n = block.n_instructions
+    prep.n = n
+    if n == 0:
+        prep.key = None
+        return prep
+    prep.key = int(block.iline[0])
+    prep.class_counts = block.class_counts()
+
+    is_load = block.op == OP_LOAD
+    is_store = block.op == OP_STORE
+    mem_idx = np.flatnonzero(is_load | is_store)
+    prep.mem_addr = block.addr[mem_idx]
+    prep.mem_store = is_store[mem_idx]
+
+    br_idx = np.flatnonzero(block.op == OP_BRANCH)
+    if len(br_idx):
+        prep.branch_pcs = instruction_pcs(block)[br_idx]
+        prep.branch_taken = block.taken[br_idx].astype(np.int64)
+    else:
+        prep.branch_pcs = None
+        prep.branch_taken = None
+
+    load_idx = np.flatnonzero(is_load)
+    prep.loads = len(load_idx)
+    prep.chained_loads = 0
+    if len(load_idx):
+        d = block.dep[load_idx]
+        producers = load_idx - d
+        valid = (d > 0) & (producers >= 0)
+        if valid.any():
+            prep.chained_loads = int(
+                (block.op[producers[valid]] == OP_LOAD).sum()
+            )
+
+    prep.fetch = fetch_lines(block)
+    if n >= 64:
+        take = min(n, MICROTRACE_LEN)
+        prep.ilp_op = block.op[:take]
+        prep.ilp_dep = block.dep[:take]
+    else:
+        prep.ilp_op = None
+        prep.ilp_dep = None
+    return prep
 
 
 def profile_workload(
@@ -117,70 +195,72 @@ def profile_workload(
     ctrace = chunk_trace(trace, chunk)
     n_threads = ctrace.n_threads
 
-    collector = LocalityCollector(n_threads)
-    fetchers = [FetchLocality() for _ in range(n_threads)]
+    preps = [
+        [_prepare_block(seg.block) for seg in t.segments]
+        for t in ctrace.threads
+    ]
     pools: Dict[Tuple[int, int], _PoolAccum] = {}
+    pool_list: List[_PoolAccum] = []
+    #: Chunk interleaving in execution order, consumed by the batch
+    #: locality engine after the replay.
+    data_schedule: List[Tuple[int, int, np.ndarray, np.ndarray]] = []
+    fetch_schedule: List[List[Tuple[int, np.ndarray]]] = [
+        [] for _ in range(n_threads)
+    ]
 
     def _pool(tid: int, key: int) -> _PoolAccum:
         accum = pools.get((tid, key))
         if accum is None:
-            accum = _PoolAccum(key)
+            accum = _PoolAccum(key, len(pool_list))
             pools[(tid, key)] = accum
+            pool_list.append(accum)
         return accum
 
     def execute(tid: int, idx: int, start: float) -> float:
-        block = ctrace.threads[tid].segments[idx].block
-        n = block.n_instructions
+        prep = preps[tid][idx]
+        n = prep.n
         if n == 0:
             return 0.0
-        key = int(block.iline[0])
-        accum = _pool(tid, key)
+        accum = _pool(tid, prep.key)
         accum.n_instructions += n
         accum.n_segments += 1
-        accum.class_counts += block.class_counts()
+        accum.class_counts += prep.class_counts
 
-        mem_idx = block.memory_indices()
-        if len(mem_idx):
-            collector.process(
-                tid,
-                block.addr[mem_idx],
-                block.op[mem_idx] == OP_STORE,
-                accum.locality,
+        if len(prep.mem_addr):
+            data_schedule.append(
+                (tid, accum.index, prep.mem_addr, prep.mem_store)
             )
 
-        br_idx = block.branch_indices()
-        if len(br_idx) and accum.branch_stored < _BRANCH_CAP:
-            pcs = instruction_pcs(block)[br_idx]
+        if prep.branch_pcs is not None and accum.branch_stored < _BRANCH_CAP:
             accum.branch_streams.append(
-                (pcs, block.taken[br_idx].astype(np.int64))
+                (prep.branch_pcs, prep.branch_taken)
             )
-            accum.branch_stored += len(br_idx)
+            accum.branch_stored += len(prep.branch_pcs)
 
-        if len(accum.ilp_samples) < _ILP_SAMPLES and n >= 64:
-            take = min(n, MICROTRACE_LEN)
+        if len(accum.ilp_samples) < _ILP_SAMPLES and prep.ilp_op is not None:
             accum.ilp_samples.append(
-                (block.op[:take].copy(), block.dep[:take].copy())
+                (prep.ilp_op.copy(), prep.ilp_dep.copy())
             )
 
-        load_idx = np.flatnonzero(block.op == OP_LOAD)
-        accum.loads += len(load_idx)
-        if len(load_idx):
-            d = block.dep[load_idx]
-            producers = load_idx - d
-            valid = (d > 0) & (producers >= 0)
-            if valid.any():
-                accum.chained_loads += int(
-                    (block.op[producers[valid]] == OP_LOAD).sum()
-                )
+        accum.loads += prep.loads
+        accum.chained_loads += prep.chained_loads
 
-        lines = fetch_lines(block)
-        accum.n_fetches += fetchers[tid].process(lines, accum.ifetch)
+        if len(prep.fetch):
+            fetch_schedule[tid].append((accum.index, prep.fetch))
+            accum.n_fetches += len(prep.fetch)
         return float(n)
 
     programs = [
         [seg.event for seg in t.segments] for t in ctrace.threads
     ]
     run_schedule(programs, execute)
+
+    replay_data(
+        data_schedule, n_threads, [a.locality for a in pool_list]
+    )
+    ifetch_hists = [a.ifetch for a in pool_list]
+    for tid in range(n_threads):
+        replay_fetch(fetch_schedule[tid], ifetch_hists)
 
     threads: List[ThreadProfile] = []
     for t in ctrace.threads:

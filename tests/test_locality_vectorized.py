@@ -1,0 +1,257 @@
+"""Equivalence suite: vectorized locality engines vs scalar reference.
+
+Three implementations must agree *bit-for-bit* on every statistic
+(histogram bins, cold, invalidation and access counts):
+
+* the scalar per-access reference (``repro.profiler.reference``, the
+  preserved seed implementation),
+* the vectorized per-chunk collectors (``repro.profiler.locality``),
+* the whole-trace batch engine (``repro.profiler.batch``).
+
+Randomized multi-thread interleavings cover stores, coherence
+invalidations, cold misses, sparse (2^55-range) addresses and
+chunk-boundary reuses; hypothesis shrinks any counterexample to a
+minimal interleaving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiler.batch import replay_data, replay_fetch
+from repro.profiler.histogram import RDHistogram
+from repro.profiler.locality import (
+    FetchLocality,
+    LocalityCollector,
+    PoolLocality,
+)
+from repro.profiler.reference import (
+    ScalarFetchLocality,
+    ScalarLocalityCollector,
+)
+
+
+def pools_equal(a: PoolLocality, b: PoolLocality) -> bool:
+    return (
+        np.array_equal(a.priv_counts, b.priv_counts)
+        and np.array_equal(a.glob_counts, b.glob_counts)
+        and a.priv_cold == b.priv_cold
+        and a.priv_inval == b.priv_inval
+        and a.glob_cold == b.glob_cold
+        and a.n_accesses == b.n_accesses
+        and a.n_stores == b.n_stores
+    )
+
+
+def run_all_engines(chunks, n_threads, n_pools):
+    """Feed the same chunk schedule to all three implementations."""
+    ref = ScalarLocalityCollector(n_threads)
+    ref_pools = [PoolLocality() for _ in range(n_pools)]
+    for tid, pidx, addrs, stores in chunks:
+        ref.process(tid, addrs, stores, ref_pools[pidx])
+
+    vec = LocalityCollector(n_threads)
+    vec_pools = [PoolLocality() for _ in range(n_pools)]
+    for tid, pidx, addrs, stores in chunks:
+        vec.process(tid, addrs, stores, vec_pools[pidx])
+
+    batch_pools = [PoolLocality() for _ in range(n_pools)]
+    replay_data(chunks, n_threads, batch_pools)
+    return ref_pools, vec_pools, batch_pools
+
+
+# -- hypothesis: minimal shrinking interleavings ---------------------------
+
+chunk_strategy = st.tuples(
+    st.integers(min_value=0, max_value=2),           # tid
+    st.lists(                                        # (line, store) ops
+        st.tuples(
+            st.integers(min_value=0, max_value=6),
+            st.booleans(),
+        ),
+        min_size=1, max_size=12,
+    ),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(chunk_strategy, min_size=1, max_size=12))
+def test_engines_match_reference_on_shrinkable_interleavings(raw):
+    n_threads = 3
+    chunks = [
+        (
+            tid,
+            tid,
+            np.array([line for line, _ in ops], dtype=np.int64),
+            np.array([s for _, s in ops], dtype=bool),
+        )
+        for tid, ops in raw
+    ]
+    ref_pools, vec_pools, batch_pools = run_all_engines(
+        chunks, n_threads, n_threads
+    )
+    for r, v, b in zip(ref_pools, vec_pools, batch_pools):
+        assert pools_equal(v, r)
+        assert pools_equal(b, r)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=9),
+            min_size=1, max_size=15,
+        ),
+        min_size=1, max_size=8,
+    )
+)
+def test_fetch_engines_match_reference(raw):
+    streams = [np.array(lines, dtype=np.int64) for lines in raw]
+
+    ref = ScalarFetchLocality()
+    ref_hist = RDHistogram()
+    vec = FetchLocality()
+    vec_hist = RDHistogram()
+    for lines in streams:
+        assert vec.process(lines, vec_hist) == ref.process(
+            lines, ref_hist
+        )
+    batch_hist = RDHistogram()
+    replay_fetch([(0, lines) for lines in streams], [batch_hist])
+
+    assert vec_hist == ref_hist
+    assert batch_hist == ref_hist
+
+
+# -- seeded heavy randomized interleavings ---------------------------------
+
+def random_schedule(rng, n_threads, n_chunks, max_len, n_pools):
+    """Hot set + mid set + sparse 2^55 lines, random store density."""
+    chunks = []
+    for _ in range(n_chunks):
+        tid = int(rng.integers(0, n_threads))
+        k = int(rng.integers(1, max_len))
+        mix = rng.random(k)
+        addrs = np.where(
+            mix < 0.6, rng.integers(0, 40, size=k),
+            np.where(
+                mix < 0.92, rng.integers(0, 800, size=k),
+                rng.integers(0, 2**55, size=k),
+            ),
+        ).astype(np.int64)
+        stores = rng.random(k) < float(rng.random())
+        chunks.append((tid, int(rng.integers(0, n_pools)), addrs, stores))
+    return chunks
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_engines_match_on_heavy_interleavings(seed):
+    rng = np.random.default_rng(seed)
+    n_threads = int(rng.integers(1, 6))
+    n_pools = n_threads * int(rng.integers(1, 3))
+    chunks = random_schedule(rng, n_threads, 60, 600, n_pools)
+    ref_pools, vec_pools, batch_pools = run_all_engines(
+        chunks, n_threads, n_pools
+    )
+    assert sum(p.n_accesses for p in ref_pools) > 0
+    for r, v, b in zip(ref_pools, vec_pools, batch_pools):
+        assert pools_equal(v, r)
+        assert pools_equal(b, r)
+
+
+def test_invalidations_are_exercised_and_match():
+    """Store-heavy tiny hot set: thousands of coherence invalidations."""
+    rng = np.random.default_rng(42)
+    n_threads = 4
+    chunks = []
+    for _ in range(50):
+        tid = int(rng.integers(0, n_threads))
+        k = int(rng.integers(1, 200))
+        addrs = rng.integers(0, 8, size=k).astype(np.int64)
+        stores = rng.random(k) < 0.5
+        chunks.append((tid, tid, addrs, stores))
+    ref_pools, vec_pools, batch_pools = run_all_engines(
+        chunks, n_threads, n_threads
+    )
+    assert sum(p.priv_inval for p in ref_pools) > 100
+    for r, v, b in zip(ref_pools, vec_pools, batch_pools):
+        assert pools_equal(v, r)
+        assert pools_equal(b, r)
+
+
+def test_chunk_split_invariance():
+    """The same stream split at different chunk boundaries yields the
+    same statistics — the cross-chunk carry-over invariant."""
+    rng = np.random.default_rng(7)
+    addrs = rng.integers(0, 64, size=3000).astype(np.int64)
+    stores = rng.random(3000) < 0.3
+
+    def run(split):
+        c = LocalityCollector(1)
+        pool = PoolLocality()
+        for lo in range(0, 3000, split):
+            c.process(0, addrs[lo:lo + split], stores[lo:lo + split], pool)
+        return pool
+
+    ref = run(3000)
+    for split in (1, 7, 64, 1024):
+        assert pools_equal(run(split), ref)
+
+
+def test_fetch_chunk_split_invariance():
+    rng = np.random.default_rng(8)
+    lines = rng.integers(0, 50, size=2000).astype(np.int64)
+
+    def run(split):
+        f = FetchLocality()
+        h = RDHistogram()
+        n = 0
+        for lo in range(0, 2000, split):
+            n += f.process(lines[lo:lo + split], h)
+        assert n == 2000
+        return h
+
+    ref = run(2000)
+    for split in (1, 13, 256):
+        assert run(split) == ref
+
+
+# -- end-to-end: the full profiler on real benchmarks ----------------------
+
+def test_profile_workload_matches_scalar_collectors(monkeypatch):
+    """profile_workload (batch engine) equals a scalar-collector replay
+    of the identical chunk schedule, on real multi-threaded workloads."""
+    from repro.profiler import profiler as profiler_mod
+    from repro.profiler.profiler import profile_workload
+    from repro.workloads.generator import expand
+    from repro.workloads.parsec import parsec_workload
+    from repro.workloads.rodinia import rodinia_workload
+
+    def scalar_replay_data(chunks, n_threads, pools):
+        collector = ScalarLocalityCollector(n_threads)
+        for tid, pidx, addrs, stores in chunks:
+            collector.process(tid, addrs, stores, pools[pidx])
+
+    def scalar_replay_fetch(chunks, hists):
+        fetcher = ScalarFetchLocality()
+        for pidx, lines in chunks:
+            fetcher.process(lines, hists[pidx])
+
+    for make, name in (
+        (rodinia_workload, "srad"),
+        (parsec_workload, "fluidanimate"),
+    ):
+        trace = expand(make(name, scale=0.3))
+        fast = profile_workload(trace)
+        monkeypatch.setattr(
+            profiler_mod, "replay_data", scalar_replay_data
+        )
+        monkeypatch.setattr(
+            profiler_mod, "replay_fetch", scalar_replay_fetch
+        )
+        slow = profile_workload(trace)
+        monkeypatch.undo()
+        assert fast.to_dict() == slow.to_dict()
