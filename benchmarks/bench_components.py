@@ -8,7 +8,6 @@ scoreboard, the tournament predictor, StatStack) are visible.
 import numpy as np
 import pytest
 
-from repro.arch.presets import table_iv_config
 from repro.branch.predictors import TournamentPredictor
 from repro.core.equation import evaluate_equation
 from repro.profiler.branchprof import branch_stats

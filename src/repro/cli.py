@@ -7,9 +7,15 @@ Commands mirror the paper's workflow (Fig. 1):
 * ``simulate`` — run the golden-reference simulator.
 * ``compare``  — predict *and* simulate, report the error and stacks.
 * ``report``   — regenerate a paper artifact (table1/table3/figure4/
-  figure5/table5/figure6/ablations) and print it.
+  figure5/table5/figure6/ablations) and print it.  Profiling,
+  prediction and simulation inputs prefetch over ``--jobs N`` worker
+  processes (default: CPU count) and persist in the on-disk artifact
+  store (``REPRO_CACHE_DIR``), so re-running a report — or running a
+  second report over the same suite — is nearly free.
 * ``bench``    — measure profiling throughput (vectorized vs seed
-  scalar engine) and write ``BENCH_profiler.json``.
+  scalar engines, reuse-distance and ILP scoreboard) and write
+  ``BENCH_profiler.json``; ``--check`` exits non-zero when a speedup
+  falls below the committed floor (the CI perf smoke test).
 * ``list``     — list benchmarks and design points.
 """
 
@@ -133,8 +139,9 @@ def cmd_compare(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.experiments.suites import RunCache
-    cache = RunCache(scale=args.scale)
+    from repro.experiments.suites import shared_cache
+    cache = shared_cache(scale=args.scale)
+    jobs = args.jobs
     artifact = args.artifact
     if artifact == "table1":
         from repro.experiments.accumulation import (
@@ -145,45 +152,54 @@ def cmd_report(args) -> int:
         from repro.experiments.sync_counts import (
             render_table3, run_table3,
         )
-        print(render_table3(run_table3(cache=cache)))
+        print(render_table3(run_table3(cache=cache, jobs=jobs)))
     elif artifact == "figure4":
         from repro.experiments.accuracy import (
             render_figure4, run_figure4,
         )
-        print(render_figure4(run_figure4(cache=cache)))
+        print(render_figure4(run_figure4(cache=cache, jobs=jobs)))
     elif artifact == "figure5":
         from repro.experiments.cpi_stacks import (
             render_figure5, run_figure5,
         )
-        print(render_figure5(run_figure5(cache=cache)))
+        print(render_figure5(run_figure5(cache=cache, jobs=jobs)))
     elif artifact == "table5":
         from repro.experiments.design_space import (
             render_table5, run_table5,
         )
-        print(render_table5(run_table5(cache=cache)))
+        print(render_table5(run_table5(cache=cache, jobs=jobs)))
     elif artifact == "figure6":
         from repro.experiments.bottlegraphs import (
             render_figure6, run_figure6,
         )
-        print(render_figure6(run_figure6(cache=cache)))
+        print(render_figure6(run_figure6(cache=cache, jobs=jobs)))
     elif artifact == "ablations":
         from repro.experiments.ablations import (
             render_ablations, run_ablations,
         )
-        print(render_ablations(run_ablations(cache=cache)))
+        print(render_ablations(run_ablations(cache=cache, jobs=jobs)))
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown artifact {artifact!r}")
     return 0
 
 
 def cmd_bench(args) -> int:
-    from repro.experiments.bench import render_bench, run_profiler_bench
+    from repro.experiments.bench import (
+        check_bench, render_bench, run_profiler_bench,
+    )
     result = run_profiler_bench(
         quick=args.quick, scale=args.scale, output=args.output
     )
     print(render_bench(result))
     if args.output:
         print(f"wrote {args.output}")
+    if args.check:
+        failures = check_bench(result)
+        for line in failures:
+            print(f"CHECK FAILED: {line}", file=sys.stderr)
+        if failures:
+            return 1
+        print("bench --check: all committed floors cleared")
     return 0
 
 
@@ -232,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
         "ablations",
     ])
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for profiling/simulation "
+                        "prefetch (default: CPU count; 1 = serial)")
 
     p = sub.add_parser(
         "bench", help="measure profiling throughput (BENCH trajectory)"
@@ -241,6 +260,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("-o", "--output", default="BENCH_profiler.json",
                    help="JSON record path (default BENCH_profiler.json)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero if any engine speedup falls "
+                        "below its committed floor (CI perf smoke)")
     return parser
 
 

@@ -8,7 +8,7 @@ they can be compared bar-for-bar as in the paper's Figure 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable
 
 #: Component order used in reports (matches the paper's stacking).

@@ -27,7 +27,12 @@ from repro.arch.config import MulticoreConfig
 from repro.arch.presets import table_iv_config
 from repro.core.baselines import predict_crit
 from repro.core.rppm import predict
-from repro.experiments.suites import BenchmarkRef, RunCache, full_suite
+from repro.experiments.suites import (
+    BenchmarkRef,
+    RunCache,
+    full_suite,
+    shared_cache,
+)
 from repro.profiler.profile import WorkloadProfile
 
 #: Ablation names in report order.
@@ -99,11 +104,20 @@ def run_ablations(
     benchmarks: Optional[Sequence[BenchmarkRef]] = None,
     config: Optional[MulticoreConfig] = None,
     cache: Optional[RunCache] = None,
+    jobs: Optional[int] = None,
 ) -> AblationResult:
-    """Prediction error of each ablated model across the suite."""
+    """Prediction error of each ablated model across the suite.
+
+    The shared profile/prediction/simulation inputs prefetch over
+    ``jobs`` worker processes; the ablated re-predictions themselves
+    run in-process (they mutate profile copies and are not cached).
+    """
     benchmarks = list(benchmarks) if benchmarks else full_suite()
     config = config or table_iv_config("base")
-    cache = cache or RunCache()
+    cache = cache or shared_cache()
+    cache.prefetch(
+        benchmarks, configs=(config,), workers=jobs, simulate=True
+    )
     rows: List[AblationRow] = []
     for ref in benchmarks:
         profile = cache.profile(ref)

@@ -17,7 +17,12 @@ import numpy as np
 from repro.arch.config import MulticoreConfig
 from repro.arch.presets import table_iv_config
 from repro.core.baselines import predict_crit, predict_main
-from repro.experiments.suites import BenchmarkRef, RunCache, full_suite
+from repro.experiments.suites import (
+    BenchmarkRef,
+    RunCache,
+    full_suite,
+    shared_cache,
+)
 
 #: Predictor names in Figure 4's legend order.
 APPROACHES = ("MAIN", "CRIT", "RPPM")
@@ -90,11 +95,20 @@ def run_figure4(
     benchmarks: Optional[Sequence[BenchmarkRef]] = None,
     config: Optional[MulticoreConfig] = None,
     cache: Optional[RunCache] = None,
+    jobs: Optional[int] = None,
 ) -> Figure4Result:
-    """The full Figure 4 sweep on the base quad-core configuration."""
+    """The full Figure 4 sweep on the base quad-core configuration.
+
+    Profiling and simulation fan out over ``jobs`` worker processes
+    (default: CPU count) through the shared cache's prefetch pipeline;
+    the per-benchmark rows then assemble from cache hits.
+    """
     benchmarks = list(benchmarks) if benchmarks else full_suite()
     config = config or table_iv_config("base")
-    cache = cache or RunCache()
+    cache = cache or shared_cache()
+    cache.prefetch(
+        benchmarks, configs=(config,), workers=jobs, simulate=True
+    )
     rows = [
         run_workload_accuracy(ref, config, cache) for ref in benchmarks
     ]

@@ -1,18 +1,25 @@
 """Profiling-throughput benchmark (the BENCH trajectory).
 
-Measures the component the paper's "rapid" claim rests on — how fast
-the profiling front-end turns a workload's access stream into
-reuse-distance statistics — by replaying the *exact* chunk schedules
-the profiler records through
+Measures the components the paper's "rapid" claim rests on:
 
-* the vectorized whole-trace engine (:mod:`repro.profiler.batch`), and
-* the seed scalar collectors (:mod:`repro.profiler.reference`),
+* the reuse-distance front-end — the *exact* chunk schedules the
+  profiler records, replayed through the vectorized whole-trace engine
+  (:mod:`repro.profiler.batch`) and the seed scalar collectors
+  (:mod:`repro.profiler.reference`) on identical inputs;
+* the ILP scoreboard — the *exact* per-pool micro-trace samples the
+  profiler retains, replayed through the lockstep batch engine
+  (:mod:`repro.profiler.ilp_batch`) and the scalar spec
+  (:func:`repro.profiler.ilp.build_ilp_table`), with the resulting
+  tables cross-checked for equivalence;
+* the end-to-end suite wall-clock through
+  :func:`repro.profiler.profiler.profile_workload`.
 
-on identical inputs, plus the end-to-end suite wall-clock through
-:func:`repro.profiler.profiler.profile_workload`.  Results are written
-as machine-readable ``BENCH_profiler.json`` so the speedup is tracked
-across PRs (``python -m repro bench``; the pytest face lives in
-``benchmarks/bench_profiler.py``).
+Results are written as machine-readable ``BENCH_profiler.json`` so the
+speedup is tracked across PRs (``python -m repro bench``; the pytest
+face lives in ``benchmarks/bench_profiler.py``).  ``python -m repro
+bench --check`` additionally enforces the committed
+:data:`CHECK_FLOORS` — CI's guard against a silent performance or
+equivalence regression.
 """
 
 from __future__ import annotations
@@ -30,8 +37,14 @@ from repro.experiments.suites import (
 )
 from repro.profiler.batch import replay_data, replay_fetch
 from repro.profiler.histogram import RDHistogram
+from repro.profiler.ilp import build_ilp_table
+from repro.profiler.ilp_batch import build_ilp_tables
 from repro.profiler.locality import PoolLocality
-from repro.profiler.profiler import profile_workload
+from repro.profiler.profiler import (
+    ILP_SAMPLES_PER_POOL,
+    ilp_sample,
+    profile_workload,
+)
 from repro.profiler.reference import (
     ScalarFetchLocality,
     ScalarLocalityCollector,
@@ -40,10 +53,20 @@ from repro.runtime.chunking import chunk_trace
 from repro.workloads.generator import expand
 from repro.workloads.ir import OP_STORE, fetch_lines
 
-BENCH_SCHEMA = 1
+#: 2: adds the ``ilp`` section (batched scoreboard vs scalar spec).
+BENCH_SCHEMA = 2
 #: Quick-mode subset: three locality personalities plus streamcluster,
 #: whose sparse address space exercises the engine's fallback path.
 QUICK_BENCHMARKS = ("hotspot", "bfs", "srad", "streamcluster")
+
+#: Committed performance/equivalence floors for ``bench --check``.
+#: Conservative relative to measured speedups (collector ~10x, ILP
+#: ~7-15x on a developer-class core) to absorb noisy shared runners.
+CHECK_FLOORS: Dict[str, float] = {
+    "collector_speedup": 5.0,
+    "ilp_speedup": 5.0,
+    "ilp_max_rel_err": 1e-9,
+}
 
 
 class SuiteStreams:
@@ -70,20 +93,32 @@ class SuiteStreams:
         return sum(len(f[1]) for fs in self.fetch for f in fs)
 
 
+def expand_suite(
+    refs: Sequence[BenchmarkRef], scale: float
+) -> List:
+    """Expand every benchmark's trace once, for reuse by extractors."""
+    return [expand(build_workload(ref, scale)) for ref in refs]
+
+
 def extract_streams(
-    refs: Sequence[BenchmarkRef], scale: float, chunk: int = 4096
+    refs: Sequence[BenchmarkRef],
+    scale: float,
+    chunk: int = 4096,
+    traces: Optional[Sequence] = None,
 ) -> List[SuiteStreams]:
     """Expand and chunk benchmarks into replayable access streams.
 
     Pool attribution is simplified to one pool per thread — the
     throughput of the engines depends on stream content, not on how
-    many pools the counts land in.
+    many pools the counts land in.  Pass pre-expanded ``traces``
+    (from :func:`expand_suite`) to avoid re-expanding.
     """
+    if traces is None:
+        traces = expand_suite(refs, scale)
     out = []
-    for ref in refs:
-        trace = expand(build_workload(ref, scale))
+    for trace in traces:
         ctrace = chunk_trace(trace, chunk)
-        streams = SuiteStreams(ref.label, ctrace.n_threads)
+        streams = SuiteStreams(ctrace.name, ctrace.n_threads)
         for t in ctrace.threads:
             for seg in t.segments:
                 block = seg.block
@@ -122,6 +157,60 @@ def _run_scalar(streams: List[SuiteStreams]) -> None:
             fetcher = ScalarFetchLocality()
             for pidx, lines in s.fetch[tid]:
                 fetcher.process(lines, hists[pidx])
+
+
+def extract_ilp_pools(
+    refs: Sequence[BenchmarkRef],
+    scale: float,
+    chunk: int = 4096,
+    traces: Optional[Sequence] = None,
+) -> List[List[Tuple[np.ndarray, np.ndarray]]]:
+    """Per-pool micro-trace samples, as the profiler retains them.
+
+    Pools follow the profiler's (thread, code-region) keying; the
+    retention policy itself (segment-length gate, truncation) is
+    :func:`repro.profiler.profiler.ilp_sample` — shared with the
+    profiler, so the ILP engines replay exactly the workload
+    ``profile_workload`` would hand them.  Pass pre-expanded
+    ``traces`` (from :func:`expand_suite`) to avoid re-expanding.
+    """
+    if traces is None:
+        traces = expand_suite(refs, scale)
+    pools: List[List[Tuple[np.ndarray, np.ndarray]]] = []
+    for trace in traces:
+        ctrace = chunk_trace(trace, chunk)
+        per_pool: Dict[Tuple[int, int], List] = {}
+        for t in ctrace.threads:
+            for seg in t.segments:
+                sample = ilp_sample(seg.block)
+                if sample is None:
+                    continue
+                key = (t.thread_id, int(seg.block.iline[0]))
+                samples = per_pool.setdefault(key, [])
+                if len(samples) < ILP_SAMPLES_PER_POOL:
+                    samples.append(sample)
+        pools.extend(v for v in per_pool.values() if v)
+    return pools
+
+
+def _run_ilp_batch(pools) -> List:
+    return build_ilp_tables(pools)
+
+
+def _run_ilp_scalar(pools) -> List:
+    return [build_ilp_table(samples) for samples in pools]
+
+
+def _table_rel_err(batch_tables, scalar_tables) -> float:
+    """Worst relative disagreement across all table fields."""
+    worst = 0.0
+    for b, s in zip(batch_tables, scalar_tables):
+        for attr in ("ilp", "branch_loads", "load_par"):
+            a = getattr(b, attr)
+            r = getattr(s, attr)
+            denom = np.maximum(np.abs(r), 1e-12)
+            worst = max(worst, float(np.max(np.abs(a - r) / denom)))
+    return worst
 
 
 def _interleaved(fn_a, fn_b, reps: int) -> Tuple[float, float]:
@@ -164,7 +253,8 @@ def run_profiler_bench(
         refs = [r for r in refs if r.name in keep]
     if reps is None:
         reps = 2 if quick else 3
-    streams = extract_streams(refs, scale)
+    traces = expand_suite(refs, scale)  # expanded once for both setups
+    streams = extract_streams(refs, scale, traces=traces)
     accesses = sum(s.n_accesses for s in streams)
     fetches = sum(s.n_fetches for s in streams)
 
@@ -172,6 +262,20 @@ def run_profiler_bench(
     vec_s, scalar_s = _interleaved(
         lambda: _run_vectorized(streams),
         lambda: _run_scalar(streams),
+        reps,
+    )
+
+    pools = extract_ilp_pools(refs, scale, traces=traces)
+    n_samples = sum(len(p) for p in pools)
+    # The timed suite loop below re-expands on purpose: its wall-clock
+    # has always measured expand + profile end to end.
+    del traces
+    batch_tables = _run_ilp_batch(pools)  # warm-up + equivalence input
+    scalar_tables = _run_ilp_scalar(pools)
+    ilp_err = _table_rel_err(batch_tables, scalar_tables)
+    ilp_batch_s, ilp_scalar_s = _interleaved(
+        lambda: _run_ilp_batch(pools),
+        lambda: _run_ilp_scalar(pools),
         reps,
     )
 
@@ -198,6 +302,14 @@ def run_profiler_bench(
             "scalar_aps": total / scalar_s,
             "speedup": scalar_s / vec_s,
         },
+        "ilp": {
+            "pools": len(pools),
+            "samples": int(n_samples),
+            "batch_s": ilp_batch_s,
+            "scalar_s": ilp_scalar_s,
+            "speedup": ilp_scalar_s / ilp_batch_s,
+            "max_rel_err": ilp_err,
+        },
         "suite": {
             "wall_clock_s": suite_s,
             "instructions": int(instructions),
@@ -210,9 +322,38 @@ def run_profiler_bench(
     return result
 
 
+def check_bench(result: Dict) -> List[str]:
+    """Validate a bench record against :data:`CHECK_FLOORS`.
+
+    Returns human-readable failure lines (empty when everything
+    clears its floor) — the substance of ``bench --check``.
+    """
+    failures = []
+    collector = result["collector"]["speedup"]
+    if collector < CHECK_FLOORS["collector_speedup"]:
+        failures.append(
+            f"reuse-distance speedup {collector:.2f}x below committed "
+            f"floor {CHECK_FLOORS['collector_speedup']:.1f}x"
+        )
+    ilp = result["ilp"]["speedup"]
+    if ilp < CHECK_FLOORS["ilp_speedup"]:
+        failures.append(
+            f"ILP scoreboard speedup {ilp:.2f}x below committed "
+            f"floor {CHECK_FLOORS['ilp_speedup']:.1f}x"
+        )
+    err = result["ilp"]["max_rel_err"]
+    if err > CHECK_FLOORS["ilp_max_rel_err"]:
+        failures.append(
+            f"ILP batch/scalar divergence {err:.2e} above tolerance "
+            f"{CHECK_FLOORS['ilp_max_rel_err']:.0e}"
+        )
+    return failures
+
+
 def render_bench(result: Dict) -> str:
     """Human-readable summary of a bench record."""
     c = result["collector"]
+    i = result["ilp"]
     s = result["suite"]
     return "\n".join([
         f"profiler bench ({result['mode']}, scale={result['scale']}, "
@@ -220,6 +361,10 @@ def render_bench(result: Dict) -> str:
         f"  reuse-distance engine: {c['vectorized_aps'] / 1e6:6.2f} M "
         f"accesses/s vectorized vs {c['scalar_aps'] / 1e6:5.2f} M "
         f"scalar  ({c['speedup']:.1f}x)",
+        f"  ILP scoreboard engine: {i['pools']} pools / {i['samples']} "
+        f"samples in {i['batch_s']:.2f}s batched vs "
+        f"{i['scalar_s']:.2f}s scalar  ({i['speedup']:.1f}x, "
+        f"max rel err {i['max_rel_err']:.1e})",
         f"  suite profiling      : {s['instructions']:,} micro-ops in "
         f"{s['wall_clock_s']:.2f}s ({s['ips'] / 1e6:.2f} M instr/s)",
     ])

@@ -11,12 +11,17 @@ into the paper's three balance groups.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.arch.config import MulticoreConfig
 from repro.arch.presets import table_iv_config
 from repro.core.bottlegraph import Bottlegraph, bottlegraph_from_timeline
-from repro.experiments.suites import BenchmarkRef, RunCache, parsec_suite
+from repro.experiments.suites import (
+    BenchmarkRef,
+    RunCache,
+    parsec_suite,
+    shared_cache,
+)
 from repro.workloads.parsec import BALANCE_CLASS
 
 
@@ -107,11 +112,18 @@ def run_figure6(
     benchmarks: Optional[Sequence[BenchmarkRef]] = None,
     config: Optional[MulticoreConfig] = None,
     cache: Optional[RunCache] = None,
+    jobs: Optional[int] = None,
 ) -> Figure6Result:
-    """Figure 6 over the Parsec suite (the paper's scope)."""
+    """Figure 6 over the Parsec suite (the paper's scope).
+
+    ``jobs`` bounds the prefetch worker processes (default: CPU count).
+    """
     benchmarks = list(benchmarks) if benchmarks else parsec_suite()
     config = config or table_iv_config("base")
-    cache = cache or RunCache()
+    cache = cache or shared_cache()
+    cache.prefetch(
+        benchmarks, configs=(config,), workers=jobs, simulate=True
+    )
     pairs = [
         run_bottlegraph_pair(ref, config, cache) for ref in benchmarks
     ]

@@ -14,7 +14,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.arch.config import MulticoreConfig
 from repro.arch.presets import table_iv_config
 from repro.core.cpi_stack import COMPONENTS
-from repro.experiments.suites import BenchmarkRef, RunCache, full_suite
+from repro.experiments.suites import (
+    BenchmarkRef,
+    RunCache,
+    full_suite,
+    shared_cache,
+)
 
 
 @dataclass(frozen=True)
@@ -83,11 +88,18 @@ def run_figure5(
     benchmarks: Optional[Sequence[BenchmarkRef]] = None,
     config: Optional[MulticoreConfig] = None,
     cache: Optional[RunCache] = None,
+    jobs: Optional[int] = None,
 ) -> Figure5Result:
-    """Figure 5 for the whole suite on the base configuration."""
+    """Figure 5 for the whole suite on the base configuration.
+
+    ``jobs`` bounds the prefetch worker processes (default: CPU count).
+    """
     benchmarks = list(benchmarks) if benchmarks else full_suite()
     config = config or table_iv_config("base")
-    cache = cache or RunCache()
+    cache = cache or shared_cache()
+    cache.prefetch(
+        benchmarks, configs=(config,), workers=jobs, simulate=True
+    )
     pairs = [run_stack_pair(ref, config, cache) for ref in benchmarks]
     return Figure5Result(pairs=pairs, config=config.name)
 

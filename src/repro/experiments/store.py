@@ -8,11 +8,14 @@ scale, chunking) and, for predictions/simulations, the configuration
 fingerprint.
 
 Layout: ``<root>/<kind>/<key>.<ext>`` where ``kind`` is ``profiles``
-(JSON via ``WorkloadProfile.to_dict``), ``predictions`` or
-``simulations`` (pickled result dataclasses).  Every artifact embeds
-``SCHEMA_VERSION``; stale-version, truncated or otherwise corrupt
-files are treated as misses, so a cache survives arbitrary upgrades by
-silently recomputing.
+(JSON via ``WorkloadProfile.to_dict``), ``ilptables`` (JSON via
+``ILPTable.to_dict``, content-addressed by micro-trace sample digest —
+the profiling grid is configuration-independent, so one table serves
+every design-space point), ``predictions`` or ``simulations`` (pickled
+result dataclasses).  Every artifact embeds ``SCHEMA_VERSION``;
+stale-version, truncated or otherwise corrupt files are treated as
+misses, so a cache survives arbitrary upgrades by silently
+recomputing.
 
 Keys are deterministic SHA-256 fingerprints of canonicalized
 structures — Python's salted ``hash()`` is useless across processes,
@@ -31,11 +34,13 @@ from enum import Enum
 from pathlib import Path
 from typing import Any, Optional
 
-from repro.profiler.profile import WorkloadProfile
+from repro.profiler.profile import ILPTable, WorkloadProfile
 
 #: Bump when any persisted artifact's layout or producing algorithm
 #: changes incompatibly; old entries then read as cache misses.
-SCHEMA_VERSION = 1
+#: 2: ILP tables built by the lockstep batch engine (and persisted as
+#: their own ``ilptables`` artifact kind).
+SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache root.
 CACHE_ENV = "REPRO_CACHE_DIR"
@@ -89,10 +94,22 @@ class ProfileStore:
     file returns ``None`` and the caller recomputes (and usually
     re-saves, healing the cache).  Writes go through a temp file +
     rename so concurrent workers never observe partial artifacts.
+
+    With ``strict=False`` writes are best effort too: an unwritable
+    root or a full disk silently degrades the store to a read-only
+    (or no-op) cache instead of aborting the computation whose result
+    was being saved — the mode :func:`~repro.experiments.suites.
+    shared_cache` uses, since a report run must survive a broken
+    cache directory.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        strict: bool = True,
+    ) -> None:
         self.root = Path(root) if root is not None else default_root()
+        self.strict = strict
 
     # -- keys ---------------------------------------------------------------
 
@@ -128,20 +145,26 @@ class ProfileStore:
         return self.root / kind / f"{key}.{ext}"
 
     def _write(self, path: Path, data: bytes) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+        except OSError:
+            if self.strict:
+                raise
+            return
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(data)
             os.replace(tmp, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise
+            if self.strict or not isinstance(exc, OSError):
+                raise
 
     # -- profiles (JSON) ----------------------------------------------------
 
@@ -162,6 +185,28 @@ class ProfileStore:
             if payload.get("schema") != SCHEMA_VERSION:
                 return None
             return WorkloadProfile.from_dict(payload["profile"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    # -- ILP tables (JSON, content-addressed) -------------------------------
+
+    def save_ilp_table(self, key: str, table: ILPTable) -> Path:
+        path = self._path("ilptables", key, "json")
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "table": table.to_dict(),
+        }
+        self._write(path, json.dumps(payload).encode())
+        return path
+
+    def load_ilp_table(self, key: str) -> Optional[ILPTable]:
+        path = self._path("ilptables", key, "json")
+        try:
+            with open(path, "rb") as fh:
+                payload = json.load(fh)
+            if payload.get("schema") != SCHEMA_VERSION:
+                return None
+            return ILPTable.from_dict(payload["table"])
         except (OSError, ValueError, KeyError, TypeError):
             return None
 

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.arch.config import MulticoreConfig
 from repro.core.rppm import PredictionResult, predict
 from repro.experiments.store import ProfileStore
+from repro.profiler.ilp_batch import ILPTableCache
 from repro.profiler.profile import WorkloadProfile
 from repro.profiler.profiler import profile_workload
 from repro.simulator.multicore import simulate
@@ -88,20 +89,39 @@ def _prefetch_worker(
     chunk: int,
     configs: Sequence[MulticoreConfig],
     do_sim: bool,
+    store_root: Optional[str] = None,
 ) -> Tuple[str, WorkloadProfile, list, list]:
     """Profile (and optionally predict/simulate) one benchmark.
 
     Runs in a worker process; everything returned must pickle.  The
-    parent installs the results into its memory cache and persists
-    them, so workers never write the store concurrently.
+    parent installs the results into its memory cache.  Workers write
+    the store directly (each its own benchmark's artifacts, plus the
+    content-addressed ``ilptables`` shared by all); every write goes
+    through the store's atomic temp-file + rename, so concurrent
+    writers are safe.
+
+    A benchmark lands here when *any* of its artifacts is missing.
+    The worker runs a worker-local :class:`RunCache` over the same
+    store, so the load-or-compute-then-persist logic exists in
+    exactly one place (the RunCache artifact methods): satisfied
+    artifacts (say, four of five design points simulated by an
+    earlier run) are read back rather than recomputed, new ones are
+    persisted in-worker, and a store-satisfied profile with cached
+    simulations never expands its trace at all.
     """
     ref = BenchmarkRef(suite, name)
-    spec = build_workload(ref, scale)
-    trace = expand(spec)
-    profile = profile_workload(trace, chunk=chunk)
-    preds = [predict(profile, config) for config in configs]
+    # Non-strict: a worker that computed a result must return it to
+    # the parent even if persisting it fails (reads heal later).
+    store = (
+        ProfileStore(store_root, strict=False)
+        if store_root is not None else None
+    )
+    local = RunCache(scale=scale, store=store, chunk=chunk)
+    profile = local.profile(ref)
+    preds = [local.prediction(ref, config) for config in configs]
     sims = (
-        [simulate(trace, config) for config in configs] if do_sim else []
+        [local.simulation(ref, config) for config in configs]
+        if do_sim else []
     )
     return ref.label, profile, preds, sims
 
@@ -130,7 +150,12 @@ class RunCache:
         self.scale = scale
         self.store = store
         self.chunk = chunk
+        #: Per-pool ILP tables are configuration-independent, so one
+        #: content-addressed memo serves the whole design space (and,
+        #: with a store, every later run).
+        self.ilp_cache = ILPTableCache(store)
         self._traces: Dict[str, WorkloadTrace] = {}
+        self._seeds: Dict[str, int] = {}
         self._profiles: Dict[str, WorkloadProfile] = {}
         self._predictions: Dict[
             Tuple[str, MulticoreConfig], PredictionResult
@@ -142,7 +167,14 @@ class RunCache:
     # -- store keys ---------------------------------------------------------
 
     def _seed(self, ref: BenchmarkRef) -> int:
-        return int(build_workload(ref, self.scale).seed)
+        # A pure function of (suite, name, scale) — memoized, since
+        # every store-key computation needs it and building the spec
+        # is not free.
+        seed = self._seeds.get(ref.label)
+        if seed is None:
+            seed = int(build_workload(ref, self.scale).seed)
+            self._seeds[ref.label] = seed
+        return seed
 
     def _profile_key(self, ref: BenchmarkRef) -> str:
         return ProfileStore.profile_key(
@@ -172,7 +204,9 @@ class RunCache:
                 profile = self.store.load_profile(self._profile_key(ref))
             if profile is None:
                 profile = profile_workload(
-                    self.trace(ref), chunk=self.chunk
+                    self.trace(ref),
+                    chunk=self.chunk,
+                    ilp_cache=self.ilp_cache,
                 )
                 if self.store is not None:
                     self.store.save_profile(
@@ -300,36 +334,23 @@ class RunCache:
             return [ref.label for ref in todo]
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
+            store_root = (
+                str(self.store.root) if self.store is not None else None
+            )
             futures = [
                 pool.submit(
                     _prefetch_worker, ref.suite, ref.name, self.scale,
-                    self.chunk, list(configs), simulate,
+                    self.chunk, list(configs), simulate, store_root,
                 )
                 for ref in todo
             ]
             for ref, future in zip(todo, futures):
                 label, profile, preds, sims = future.result()
                 self._profiles[label] = profile
-                if self.store is not None:
-                    self.store.save_profile(
-                        self._profile_key(ref), profile
-                    )
                 for config, pred in zip(configs, preds):
                     self._predictions[(label, config)] = pred
-                    if self.store is not None:
-                        self.store.save_result(
-                            "predictions",
-                            self._result_key("prediction", ref, config),
-                            pred,
-                        )
                 for config, sim in zip(configs, sims):
                     self._simulations[(label, config)] = sim
-                    if self.store is not None:
-                        self.store.save_result(
-                            "simulations",
-                            self._result_key("simulation", ref, config),
-                            sim,
-                        )
         return [ref.label for ref in todo]
 
 
@@ -338,8 +359,23 @@ _SHARED: Optional[RunCache] = None
 
 
 def shared_cache(scale: float = 1.0) -> RunCache:
-    """Process-wide cache (reset when a different scale is requested)."""
+    """Process-wide cache (reset when a different scale is requested).
+
+    Backed by the default on-disk :class:`ProfileStore` (see
+    ``REPRO_CACHE_DIR``) so that ``python -m repro report`` runs reuse
+    profiles, ILP tables, predictions and simulations across artifacts
+    *and* across invocations; an unwritable store degrades to the
+    in-memory cache.
+    """
     global _SHARED
     if _SHARED is None or _SHARED.scale != scale:
-        _SHARED = RunCache(scale)
+        try:
+            # Non-strict: save-time OSErrors (read-only root, full
+            # disk) silently degrade to the in-memory cache instead
+            # of aborting a computed result.
+            store: Optional[ProfileStore] = ProfileStore(strict=False)
+            store.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            store = None
+        _SHARED = RunCache(scale, store=store)
     return _SHARED

@@ -14,7 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.suites import BenchmarkRef, RunCache, parsec_suite
+from repro.experiments.suites import (
+    BenchmarkRef,
+    RunCache,
+    parsec_suite,
+    shared_cache,
+)
 from repro.workloads.parsec import PAPER_TABLE_III
 
 #: Table III column names.
@@ -68,10 +73,16 @@ def paper_dominant(benchmark: str) -> str:
 def run_table3(
     benchmarks: Optional[Sequence[BenchmarkRef]] = None,
     cache: Optional[RunCache] = None,
+    jobs: Optional[int] = None,
 ) -> Table3Result:
-    """Count synchronization events over the Parsec suite."""
+    """Count synchronization events over the Parsec suite.
+
+    Profiles prefetch over ``jobs`` worker processes (default: CPU
+    count); no predictions or simulations are needed here.
+    """
     benchmarks = list(benchmarks) if benchmarks else parsec_suite()
-    cache = cache or RunCache()
+    cache = cache or shared_cache()
+    cache.prefetch(benchmarks, workers=jobs)
     rows = []
     for ref in benchmarks:
         counts = cache.profile(ref).sync_event_counts()

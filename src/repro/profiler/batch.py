@@ -252,7 +252,6 @@ def replay_fetch(
     poolvec = np.repeat(
         np.array([ch[0] for ch in chunks], dtype=np.int64), lens
     )
-    n = len(lines)
     n_pools = len(hists)
     acc_cnt = [0] * n_pools
     for pidx, ls in chunks:

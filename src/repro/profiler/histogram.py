@@ -14,7 +14,7 @@ a guaranteed miss at any capacity.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -24,6 +24,12 @@ The same replay also measures the mean dispatch-to-completion time of
 branch micro-ops — the branch *resolution time* ``c_res`` of Eq. 1's
 branch component — and the dependence-imposed ceiling on overlapping
 loads (for the explicit MLP model).
+
+The per-op implementations here are the *executable spec* (mirroring
+:mod:`repro.profiler.reference` for the locality engines): the
+profiler runs the lockstep batch engine in
+:mod:`repro.profiler.ilp_batch`, which is tested for equivalence
+against these functions and is an order of magnitude faster.
 """
 
 from __future__ import annotations
@@ -142,13 +148,21 @@ def hierarchy_ilp(
     This mixes fast and slow loads on the dependence chains exactly as
     a cache-accurate execution does — folding one *average* latency
     into every load systematically overestimates chain serialization.
+
+    The replay runs through the batched engine
+    (:func:`repro.profiler.ilp_batch.batch_hierarchy_ilp`): the
+    latency arrays are passed straight through as NumPy arrays, never
+    round-tripped through Python lists.
     """
+    # Imported here: ilp_batch imports this module's constants.
+    from repro.profiler.ilp_batch import batch_hierarchy_ilp
+
     m1, m2, m3 = miss_rates
     l1, l2, llc = level_lats
     if not samples:
         return 1.0
-    inv = []
-    for si, (op, dep) in enumerate(samples):
+    per_op_lats = []
+    for si, (op, _) in enumerate(samples):
         op_arr = np.asarray(op)
         rng = np.random.Generator(
             np.random.PCG64(np.random.SeedSequence([0xA11CE, si]))
@@ -158,11 +172,8 @@ def hierarchy_ilp(
         lat[u < m1] = l2
         lat[u < m2] = llc
         lat[u < m3] = llc + mem_latency
-        ilp, _ = scoreboard_replay(
-            op_arr.tolist(), np.asarray(dep).tolist(), window, lat.tolist()
-        )
-        inv.append(1.0 / ilp)
-    return 1.0 / float(np.mean(inv))
+        per_op_lats.append(lat)
+    return batch_hierarchy_ilp(samples, window, per_op_lats)
 
 
 def load_parallelism(
@@ -214,6 +225,10 @@ def build_ilp_table(
     ``samples`` is a list of (op, dep) array pairs.  With no samples
     (an epoch too small to sample), a conservative table of ILP=1 is
     returned.
+
+    This is the scalar reference; the profiler builds its tables with
+    :func:`repro.profiler.ilp_batch.build_ilp_tables`, which must
+    agree with this function (see ``tests/test_ilp_batch.py``).
     """
     grid = np.ones((len(windows), len(load_lats)), dtype=np.float64)
     br_loads = np.zeros(len(windows), dtype=np.float64)

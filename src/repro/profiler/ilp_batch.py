@@ -1,0 +1,410 @@
+"""Batched NumPy ILP scoreboard engine.
+
+:func:`repro.profiler.ilp.scoreboard_replay` advances a dependence
+scoreboard one op at a time, once per (sample, window, load-latency)
+grid point — O(samples x windows x lats x len) Python-level steps, the
+dominant profiling cost after the reuse-distance engine was vectorized.
+This module stacks all micro-trace samples into lockstep arrays and
+advances the *same* recurrence one instruction-step at a time across
+the whole (samples x windows x lats) grid simultaneously, so the
+Python loop is O(MICROTRACE_LEN) total:
+
+* ``comp[i]  = max(commit[i - W], comp[i - dep[i]]) + lat[i]``
+  evaluated as one (S, W, L) array step (dispatch gathers per window,
+  producer gathers per sample),
+* ``commit[i] = max(commit[i - 1], comp[i])`` as a running maximum,
+* the branch backward-slice load counts and the per-window load-chain
+  depths of :func:`repro.profiler.ilp.load_parallelism` ride along in
+  the same pass (they reuse the producer gather), so one loop yields
+  the full :class:`~repro.profiler.profile.ILPTable`.
+
+Samples of unequal length are padded with no-ops; every per-sample
+readout (makespan, branch counts, chunk flushes) indexes the true
+length, so padding never leaks into results.  All arithmetic is the
+same float64 max/add sequence as the scalar spec, in the same
+per-element order, so tables agree to float64 exactness (tested
+against :func:`repro.profiler.ilp.scoreboard_replay`, the preserved
+executable spec).
+
+Because the profiling grid is microarchitecture-*independent*, the
+tables are also memoized: :class:`ILPTableCache` keys a pool's table
+by a content digest of its samples and grids (in-process dict backed
+by the on-disk :class:`~repro.experiments.store.ProfileStore`), so
+design-space sweeps never rebuild a table for dependence structure
+they have already profiled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.profiler.ilp import (
+    CANONICAL_LAT,
+    LOAD_LAT_GRID,
+    WINDOW_GRID,
+)
+from repro.profiler.profile import ILPTable
+from repro.workloads.ir import OP_BRANCH, OP_LOAD
+
+#: One micro-trace sample: (op codes, backward dependence distances).
+Sample = Tuple[np.ndarray, np.ndarray]
+
+
+def stack_samples(
+    samples: Sequence[Sample],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pad samples into lockstep ``(op, dep, lengths)`` arrays.
+
+    Padding entries are no-ops (``op=0, dep=0``): they never produce
+    loads, branches or valid dependences, and every readout below is
+    gated on ``lengths``.
+    """
+    n_samples = len(samples)
+    lengths = np.array(
+        [len(o) for o, _ in samples], dtype=np.int64
+    ).reshape(n_samples)
+    width = int(lengths.max()) if n_samples else 0
+    op = np.zeros((n_samples, width), dtype=np.int64)
+    dep = np.zeros((n_samples, width), dtype=np.int64)
+    for s, (o, d) in enumerate(samples):
+        op[s, : lengths[s]] = np.asarray(o, dtype=np.int64)
+        dep[s, : lengths[s]] = np.asarray(d, dtype=np.int64)
+    return op, dep, lengths
+
+
+def grid_latencies(
+    op: np.ndarray, load_lats: Sequence[float]
+) -> np.ndarray:
+    """Per-op latencies for every grid latency: shape (S, N, L).
+
+    Non-load classes take their canonical latency on every grid point;
+    loads take the grid value.
+    """
+    canon = np.asarray(CANONICAL_LAT, dtype=np.float64)
+    lat = np.repeat(
+        canon[op][:, :, None], max(len(load_lats), 1), axis=2
+    )
+    lat[op == OP_LOAD] = np.asarray(load_lats, dtype=np.float64)
+    return lat
+
+
+def batch_scoreboard(
+    op: np.ndarray,
+    dep: np.ndarray,
+    lengths: np.ndarray,
+    windows: Sequence[int],
+    lat: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Advance the scoreboard recurrence for all grid points at once.
+
+    Parameters mirror :func:`stack_samples` / :func:`grid_latencies`;
+    ``lat`` has shape (S, N, L) where L is the latency-grid axis (1 for
+    the per-op-latency prediction path).
+
+    Returns ``(ilp, branch_loads, load_par)`` with shapes
+    (S, W, L), (S, W) and (S, W) — per-sample values, aggregated by the
+    caller exactly as the scalar :func:`~repro.profiler.ilp.
+    build_ilp_table` aggregates its per-sample replays.
+    """
+    n_samples, width = op.shape
+    w_arr = np.asarray(windows, dtype=np.int64)
+    n_windows = len(w_arr)
+    n_lats = lat.shape[2] if lat.ndim == 3 else 1
+    if n_samples == 0 or width == 0:
+        return (
+            np.ones((n_samples, n_windows, n_lats)),
+            np.zeros((n_samples, n_windows)),
+            np.ones((n_samples, n_windows)),
+        )
+
+    steps = np.arange(width, dtype=np.int64)
+    is_load = op == OP_LOAD
+    in_range = steps[None, :] < lengths[:, None]
+    is_branch = (op == OP_BRANCH) & in_range
+    valid = (dep > 0) & (dep <= steps[None, :])
+    prod = np.maximum(steps[None, :] - dep, 0)
+    s_idx = np.arange(n_samples)
+
+    # Full histories: producer gathers reach arbitrarily far back and
+    # the dispatch gather reaches back up to the largest window.
+    comp = np.zeros((width, n_samples, n_windows, n_lats))
+    commit = np.zeros((n_windows, width, n_samples, n_lats))
+    slice_loads = np.zeros((width, n_samples, n_windows))
+    chain_depth = np.zeros((width, n_samples, n_windows))
+
+    commit_prev = np.zeros((n_samples, n_windows, n_lats))
+    loads_sum = np.zeros((n_samples, n_windows))
+    cur_max = np.zeros((n_samples, n_windows))
+    depth_sum = np.zeros((n_samples, n_windows))
+
+    for i in range(width):
+        d_i = dep[:, i]
+        p_i = prod[:, i]
+        load_i = is_load[:, i]
+
+        # -- load-parallelism chunk bookkeeping ------------------------
+        # A window's chunk [i - w, i) ends when i hits a multiple of w;
+        # flush its depth (counted only if the chunk started within the
+        # sample) and reset before processing step i.
+        imod = i % w_arr
+        if i > 0:
+            ended = imod == 0
+            if ended.any():
+                started = (i - w_arr)[None, :] < lengths[:, None]
+                flush = ended[None, :] & started
+                depth_sum += np.where(
+                    flush, np.maximum(cur_max, 1.0), 0.0
+                )
+                cur_max = np.where(ended[None, :], 0.0, cur_max)
+
+        # -- dispatch: in-order commit bounds window occupancy ---------
+        dispatch = np.zeros((n_samples, n_windows, n_lats))
+        open_w = w_arr <= i
+        if open_w.any():
+            rows = i - w_arr[open_w]
+            dispatch[:, open_w, :] = commit[open_w, rows].transpose(
+                1, 0, 2
+            )
+
+        # -- issue: producer completion --------------------------------
+        v_i = valid[:, i]
+        ready = np.where(
+            v_i[:, None, None], comp[p_i, s_idx], 0.0
+        )
+        c = np.maximum(dispatch, ready) + lat[:, i, None, :]
+        comp[i] = c
+        np.maximum(commit_prev, c, out=commit_prev)
+        commit[:, i] = commit_prev.transpose(1, 0, 2)
+
+        # -- branch backward-slice load counts -------------------------
+        reach = v_i[:, None] & (d_i[:, None] <= w_arr[None, :])
+        n_loads = (
+            np.where(reach, slice_loads[p_i, s_idx], 0.0)
+            + load_i[:, None]
+        )
+        slice_loads[i] = n_loads
+        loads_sum += n_loads * is_branch[:, i, None]
+
+        # -- transitive load-chain depth (per window chunk) ------------
+        in_chunk = (d_i[:, None] > 0) & (d_i[:, None] <= imod[None, :])
+        depth = (
+            np.where(in_chunk, chain_depth[p_i, s_idx], 0.0)
+            + load_i[:, None]
+        )
+        chain_depth[i] = depth
+        np.maximum(cur_max, depth, out=cur_max)
+
+    # Final partial chunks (never followed by a chunk start in-loop).
+    last_start = ((width - 1) // w_arr) * w_arr
+    started = last_start[None, :] < lengths[:, None]
+    depth_sum += np.where(started, np.maximum(cur_max, 1.0), 0.0)
+
+    # -- per-sample readouts at true lengths ---------------------------
+    last = np.maximum(lengths - 1, 0)
+    makespan = commit[:, last, s_idx].transpose(1, 0, 2)  # (S, W, L)
+    n_f = lengths.astype(np.float64)[:, None, None]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ilp = np.where(makespan > 0, n_f / makespan, n_f)
+    ilp = np.maximum(ilp, 1e-3)
+    ilp[lengths == 0] = 1.0
+
+    branch_count = is_branch.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        branch_loads = np.where(
+            branch_count[:, None] > 0,
+            loads_sum / branch_count[:, None],
+            0.0,
+        )
+
+    total_loads = (is_load & in_range).sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        load_par = np.where(
+            total_loads[:, None] > 0,
+            np.maximum(1.0, total_loads[:, None] / depth_sum),
+            1.0,
+        )
+    return ilp, branch_loads, load_par
+
+
+def batch_hierarchy_ilp(
+    samples: Sequence[Sample],
+    window: int,
+    per_op_lats: Sequence[np.ndarray],
+) -> float:
+    """Harmonic-mean ILP with per-load latencies, via the batch engine.
+
+    ``per_op_lats[s]`` carries sample ``s``'s per-op latency vector
+    (only load positions are read — non-loads take canonical
+    latencies, as in the scalar spec's per-op mode).
+    """
+    if not samples:
+        return 1.0
+    op, dep, lengths = stack_samples(samples)
+    canon = np.asarray(CANONICAL_LAT, dtype=np.float64)
+    lat = canon[op]
+    for s, per_op in enumerate(per_op_lats):
+        mask = op[s, : lengths[s]] == OP_LOAD
+        lat[s, : lengths[s]][mask] = np.asarray(
+            per_op, dtype=np.float64
+        )[mask]
+    ilp, _, _ = batch_scoreboard(
+        op, dep, lengths, (window,), lat[:, :, None]
+    )
+    return 1.0 / float(np.mean(1.0 / ilp[:, 0, 0]))
+
+
+def _aggregate_table(
+    ilp: np.ndarray,
+    branch_loads: np.ndarray,
+    load_par: np.ndarray,
+    windows: Sequence[int],
+    load_lats: Sequence[int],
+) -> ILPTable:
+    """Per-sample grids -> one pool table (rates average harmonically)."""
+    return ILPTable(
+        windows=tuple(windows),
+        load_lats=tuple(load_lats),
+        ilp=1.0 / np.mean(1.0 / ilp, axis=0),
+        branch_loads=np.mean(branch_loads, axis=0),
+        load_par=np.mean(load_par, axis=0),
+    )
+
+
+def _empty_table(
+    windows: Sequence[int], load_lats: Sequence[int]
+) -> ILPTable:
+    return ILPTable(
+        windows=tuple(windows),
+        load_lats=tuple(load_lats),
+        ilp=np.ones((len(windows), len(load_lats))),
+        branch_loads=np.zeros(len(windows)),
+        load_par=np.ones(len(windows)),
+    )
+
+
+class ILPTableCache:
+    """Content-addressed memo for per-pool ILP tables.
+
+    The profiling grid is configuration-independent, so a pool's table
+    is a pure function of its micro-trace samples and the grids.  The
+    cache layers an in-process dict over the optional on-disk
+    :class:`~repro.experiments.store.ProfileStore`, sharing tables
+    across design-space configurations, runs and processes.
+    """
+
+    def __init__(self, store=None) -> None:
+        self.store = store
+        self._memo = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(
+        samples: Sequence[Sample],
+        windows: Sequence[int],
+        load_lats: Sequence[int],
+    ) -> str:
+        digest = hashlib.sha256()
+        digest.update(
+            repr((tuple(windows), tuple(load_lats))).encode()
+        )
+        for o, d in samples:
+            o = np.ascontiguousarray(np.asarray(o, dtype=np.int64))
+            d = np.ascontiguousarray(np.asarray(d, dtype=np.int64))
+            digest.update(len(o).to_bytes(8, "little"))
+            digest.update(o.tobytes())
+            digest.update(d.tobytes())
+        return digest.hexdigest()
+
+    def get(self, key: str) -> Optional[ILPTable]:
+        table = self._memo.get(key)
+        if table is None and self.store is not None:
+            table = self.store.load_ilp_table(key)
+            if table is not None:
+                self._memo[key] = table
+        if table is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return table
+
+    def put(self, key: str, table: ILPTable) -> None:
+        self._memo[key] = table
+        if self.store is not None:
+            self.store.save_ilp_table(key, table)
+
+
+def build_ilp_tables(
+    pool_samples: Sequence[Sequence[Sample]],
+    windows: Sequence[int] = WINDOW_GRID,
+    load_lats: Sequence[int] = LOAD_LAT_GRID,
+    cache: Optional[ILPTableCache] = None,
+) -> List[ILPTable]:
+    """All pools' ILP tables from one lockstep scoreboard advance.
+
+    Samples from every pool are stacked into a single batch (the wider
+    the sample axis, the better the per-step NumPy work amortizes the
+    loop overhead); per-pool aggregation then mirrors the scalar
+    :func:`~repro.profiler.ilp.build_ilp_table` exactly.  With a
+    ``cache``, pools whose sample content was seen before skip the
+    replay entirely.
+    """
+    tables: List[Optional[ILPTable]] = [None] * len(pool_samples)
+    keys: List[Optional[str]] = [None] * len(pool_samples)
+    todo: List[int] = []
+    alias: dict = {}  # pool index -> earlier pool with same content
+    pending: dict = {}  # key -> first todo pool carrying it
+    for pi, samples in enumerate(pool_samples):
+        if not samples:
+            tables[pi] = _empty_table(windows, load_lats)
+            continue
+        if cache is not None:
+            keys[pi] = ILPTableCache.key(samples, windows, load_lats)
+            if keys[pi] in pending:
+                alias[pi] = pending[keys[pi]]
+                continue
+            hit = cache.get(keys[pi])
+            if hit is not None:
+                tables[pi] = hit
+                continue
+            pending[keys[pi]] = pi
+        todo.append(pi)
+
+    if todo:
+        flat: List[Sample] = []
+        owner: List[int] = []
+        for pi in todo:
+            flat.extend(pool_samples[pi])
+            owner.extend([pi] * len(pool_samples[pi]))
+        op, dep, lengths = stack_samples(flat)
+        lat = grid_latencies(op, load_lats)
+        ilp, branch_loads, load_par = batch_scoreboard(
+            op, dep, lengths, windows, lat
+        )
+        owner_arr = np.asarray(owner)
+        for pi in todo:
+            sel = owner_arr == pi
+            tables[pi] = _aggregate_table(
+                ilp[sel], branch_loads[sel], load_par[sel],
+                windows, load_lats,
+            )
+            if cache is not None:
+                cache.put(keys[pi], tables[pi])
+    for pi, src in alias.items():
+        tables[pi] = tables[src]
+    return tables
+
+
+def build_ilp_table_batch(
+    samples: Sequence[Sample],
+    windows: Sequence[int] = WINDOW_GRID,
+    load_lats: Sequence[int] = LOAD_LAT_GRID,
+    cache: Optional[ILPTableCache] = None,
+) -> ILPTable:
+    """One pool's table via the batch engine (scalar-spec equivalent)."""
+    return build_ilp_tables(
+        [list(samples)], windows, load_lats, cache=cache
+    )[0]

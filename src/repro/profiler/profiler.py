@@ -18,7 +18,13 @@ hoisted out of the scheduler callback into a single precompute pass
 (:func:`_prepare_thread`), and the reuse-distance analysis is deferred:
 the callback merely records the chunk interleaving, which the
 whole-trace engine in :mod:`repro.profiler.batch` then processes with
-O(N log N) total array work.
+O(N log N) total array work.  ILP tables are likewise built after the
+replay, for *all* pools at once: the micro-trace samples are stacked
+into one lockstep batch (:func:`repro.profiler.ilp_batch.
+build_ilp_tables`), whose Python-level cost is O(MICROTRACE_LEN)
+regardless of pool, window-grid or latency-grid count, and which can
+memoize per-pool tables across runs via an
+:class:`~repro.profiler.ilp_batch.ILPTableCache`.
 """
 
 from __future__ import annotations
@@ -30,11 +36,13 @@ import numpy as np
 from repro.profiler.batch import replay_data, replay_fetch
 from repro.profiler.branchprof import branch_stats
 from repro.profiler.histogram import RDHistogram
-from repro.profiler.ilp import MICROTRACE_LEN, build_ilp_table
+from repro.profiler.ilp import MICROTRACE_LEN
+from repro.profiler.ilp_batch import ILPTableCache, build_ilp_tables
 from repro.profiler.locality import PoolLocality
 from repro.profiler.profile import (
     DataLocalityStats,
     EpochProfile,
+    ILPTable,
     SegmentRef,
     ThreadProfile,
     WorkloadProfile,
@@ -57,7 +65,26 @@ from repro.workloads.spec import WorkloadSpec
 #: Upper bound on branch outcomes retained per pool for entropy analysis.
 _BRANCH_CAP = 100_000
 #: Micro-trace samples retained per pool for ILP analysis.
-_ILP_SAMPLES = 6
+ILP_SAMPLES_PER_POOL = 6
+#: Segments shorter than this are not sampled for ILP (too little
+#: dependence structure to be representative).
+ILP_MIN_SEGMENT = 64
+
+
+def ilp_sample(block: TraceBlock) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """The micro-trace sample the profiler retains for one segment.
+
+    Returns ``None`` for segments below :data:`ILP_MIN_SEGMENT` ops;
+    otherwise the first :data:`~repro.profiler.ilp.MICROTRACE_LEN`
+    (op, dep) entries, uncopied.  This is the single definition of the
+    retention policy — the bench harness replays exactly these samples,
+    so keep it in sync by construction.
+    """
+    n = block.n_instructions
+    if n < ILP_MIN_SEGMENT:
+        return None
+    take = min(n, MICROTRACE_LEN)
+    return block.op[:take], block.dep[:take]
 
 
 class _PoolAccum:
@@ -86,13 +113,13 @@ class _PoolAccum:
         self.ifetch = RDHistogram()
         self.n_fetches = 0
 
-    def finalize(self) -> EpochProfile:
+    def finalize(self, ilp: ILPTable) -> EpochProfile:
         return EpochProfile(
             key=self.key,
             n_instructions=self.n_instructions,
             n_segments=self.n_segments,
             class_counts=self.class_counts,
-            ilp=build_ilp_table(self.ilp_samples),
+            ilp=ilp,
             branch=branch_stats(self.branch_streams),
             data=DataLocalityStats(
                 private=self.locality.private_hist(),
@@ -166,10 +193,9 @@ def _prepare_block(block: TraceBlock) -> _SegmentPrep:
             )
 
     prep.fetch = fetch_lines(block)
-    if n >= 64:
-        take = min(n, MICROTRACE_LEN)
-        prep.ilp_op = block.op[:take]
-        prep.ilp_dep = block.dep[:take]
+    sample = ilp_sample(block)
+    if sample is not None:
+        prep.ilp_op, prep.ilp_dep = sample
     else:
         prep.ilp_op = None
         prep.ilp_dep = None
@@ -179,6 +205,7 @@ def _prepare_block(block: TraceBlock) -> _SegmentPrep:
 def profile_workload(
     workload: Union[WorkloadSpec, WorkloadTrace],
     chunk: int = 4096,
+    ilp_cache: Optional[ILPTableCache] = None,
 ) -> WorkloadProfile:
     """Profile a workload once, for use across all target configurations.
 
@@ -190,6 +217,11 @@ def profile_workload(
         Interleaving granularity of the functional replay, in
         instructions.  Smaller chunks approximate instruction-grain
         interleaving more closely at higher profiling cost.
+    ilp_cache:
+        Optional content-addressed memo for per-pool ILP tables;
+        pools whose micro-trace samples were profiled before (in this
+        process or, with a store-backed cache, any previous run) skip
+        the scoreboard replay.
     """
     trace = expand(workload) if isinstance(workload, WorkloadSpec) else workload
     ctrace = chunk_trace(trace, chunk)
@@ -237,7 +269,10 @@ def profile_workload(
             )
             accum.branch_stored += len(prep.branch_pcs)
 
-        if len(accum.ilp_samples) < _ILP_SAMPLES and prep.ilp_op is not None:
+        if (
+            len(accum.ilp_samples) < ILP_SAMPLES_PER_POOL
+            and prep.ilp_op is not None
+        ):
             accum.ilp_samples.append(
                 (prep.ilp_op.copy(), prep.ilp_dep.copy())
             )
@@ -262,6 +297,11 @@ def profile_workload(
     for tid in range(n_threads):
         replay_fetch(fetch_schedule[tid], ifetch_hists)
 
+    # One lockstep scoreboard advance covers every pool's samples.
+    ilp_tables = build_ilp_tables(
+        [a.ilp_samples for a in pool_list], cache=ilp_cache
+    )
+
     threads: List[ThreadProfile] = []
     for t in ctrace.threads:
         refs = []
@@ -278,7 +318,7 @@ def profile_workload(
                 )
             )
         thread_pools = {
-            key: accum.finalize()
+            key: accum.finalize(ilp_tables[accum.index])
             for (tid, key), accum in pools.items()
             if tid == t.thread_id
         }

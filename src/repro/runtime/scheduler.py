@@ -20,8 +20,8 @@ arrival time, ties broken by a monotone sequence number.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.runtime.timeline import Timeline
 from repro.workloads.ir import SyncKind, SyncOp

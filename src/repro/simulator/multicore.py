@@ -23,7 +23,7 @@ from repro.simulator.caches import MemorySystem
 from repro.simulator.core import CoreSim
 from repro.simulator.results import SimulationResult, ThreadResult
 from repro.workloads.generator import expand
-from repro.workloads.ir import SyncKind, WorkloadTrace
+from repro.workloads.ir import WorkloadTrace
 from repro.workloads.spec import WorkloadSpec
 
 

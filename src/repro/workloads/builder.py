@@ -10,7 +10,7 @@ are written against this API.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.workloads.ir import SyncKind, SyncOp
 from repro.workloads.spec import EpochSpec, SegmentPlan, WorkloadSpec

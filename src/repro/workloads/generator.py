@@ -18,7 +18,6 @@ from repro.workloads import patterns as _patterns
 from repro.workloads.ir import (
     OP_BRANCH,
     OP_CLASSES,
-    OP_CODES,
     OP_LOAD,
     OP_STORE,
     Segment,
@@ -26,7 +25,7 @@ from repro.workloads.ir import (
     TraceBlock,
     WorkloadTrace,
 )
-from repro.workloads.spec import EpochSpec, SegmentPlan, WorkloadSpec
+from repro.workloads.spec import EpochSpec, WorkloadSpec
 
 
 def _class_counts(n: int, mix: dict, rng: np.random.Generator) -> np.ndarray:

@@ -7,7 +7,7 @@ these into benchmark-specific phase structures.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.workloads.spec import BranchSpec, MemPattern
 

@@ -18,7 +18,7 @@ and the balance classes of Figure 6:
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.workloads import kernels as k
 from repro.workloads.builder import WorkloadBuilder

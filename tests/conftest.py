@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import repro.experiments.suites as suites
 from repro.arch.presets import table_iv_config
 from repro.experiments.suites import RunCache
 from repro.profiler.profiler import profile_workload
@@ -19,6 +20,21 @@ from repro.workloads import kernels as k
 from repro.workloads.builder import WorkloadBuilder
 from repro.workloads.generator import expand
 from repro.workloads.spec import EpochSpec, WorkloadSpec
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifact_store(tmp_path, monkeypatch):
+    """Keep the on-disk artifact store out of the user's home.
+
+    ``shared_cache()`` attaches the default :class:`ProfileStore`;
+    tests must neither read stale artifacts from a developer's cache
+    nor litter it, so every test gets a throwaway root.  The
+    process-wide singleton is reset too — it pins the store root it
+    was first created with, which would leak one test's root (and
+    cached artifacts) into every later test.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.setattr(suites, "_SHARED", None)
 
 
 @pytest.fixture(scope="session")

@@ -12,11 +12,7 @@ import dataclasses
 
 import pytest
 
-from repro.arch.config import (
-    BranchPredictorConfig,
-    CacheConfig,
-    CoreConfig,
-)
+from repro.arch.config import BranchPredictorConfig, CacheConfig
 from repro.arch.presets import table_iv_config
 from repro.core.rppm import predict
 from repro.experiments.suites import BenchmarkRef

@@ -1,7 +1,5 @@
 """Unit tests for the architecture configuration data model."""
 
-import math
-
 import pytest
 
 from repro.arch.config import (
@@ -9,8 +7,6 @@ from repro.arch.config import (
     BranchPredictorConfig,
     CacheConfig,
     CoreConfig,
-    MemoryConfig,
-    MulticoreConfig,
 )
 from repro.arch.presets import TABLE_IV, design_space, table_iv_config
 

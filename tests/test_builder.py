@@ -4,7 +4,7 @@ import pytest
 
 from repro.workloads.builder import WorkloadBuilder
 from repro.workloads.generator import expand
-from repro.workloads.ir import SyncKind, SyncOp
+from repro.workloads.ir import SyncKind
 
 from tests.conftest import make_epoch
 

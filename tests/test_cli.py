@@ -26,6 +26,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["report", "figure9"])
 
+    def test_report_jobs_flag(self):
+        args = build_parser().parse_args(
+            ["report", "figure4", "--jobs", "2"]
+        )
+        assert args.jobs == 2
+        assert build_parser().parse_args(
+            ["report", "figure4"]
+        ).jobs is None
+
+    def test_bench_check_flag(self):
+        args = build_parser().parse_args(["bench", "--quick", "--check"])
+        assert args.check and args.quick
+        assert not build_parser().parse_args(["bench"]).check
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -95,6 +109,12 @@ class TestCommands:
         assert collector["vectorized_aps"] > 0
         assert collector["scalar_aps"] > 0
         # Speedup *thresholds* live in the perf-marked benches
-        # (benchmarks/bench_profiler.py); here only record shape.
+        # (benchmarks/bench_profiler.py) and `bench --check`; here
+        # only record shape.
         assert collector["speedup"] > 0
+        ilp = record["ilp"]
+        assert ilp["pools"] > 0 and ilp["samples"] > 0
+        assert ilp["speedup"] > 0
+        # Equivalence is not timing-sensitive: enforce it even here.
+        assert ilp["max_rel_err"] <= 1e-9
         assert record["suite"]["instructions"] > 0

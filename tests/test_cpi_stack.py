@@ -1,6 +1,5 @@
 """Unit tests for CPI stacks, timelines and chunking."""
 
-import numpy as np
 import pytest
 
 from repro.core.cpi_stack import COMPONENTS, CPIStack

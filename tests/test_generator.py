@@ -12,13 +12,12 @@ from repro.workloads.generator import (
 )
 from repro.workloads.ir import (
     OP_BRANCH,
-    OP_CLASSES,
     OP_LOAD,
     OP_STORE,
     instruction_pcs,
 )
 from repro.workloads.patterns import addresses, code_base, region_base
-from repro.workloads.spec import BranchSpec, EpochSpec, MemPattern
+from repro.workloads.spec import BranchSpec, MemPattern
 
 from tests.conftest import barrier_workload, make_epoch
 
@@ -210,7 +209,6 @@ class TestBranchOutcomes:
 
     def test_periodic_noise_flips(self):
         spec = BranchSpec(kind="periodic", period=8, noise=0.5)
-        pattern_rng = np.random.default_rng(3)
         clean = outcomes(BranchSpec(kind="periodic", period=8, noise=0.0),
                          4000, np.random.default_rng(1),
                          pattern_rng=np.random.default_rng(7))

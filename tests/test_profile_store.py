@@ -149,6 +149,41 @@ class TestPrefetch:
         cache.prefetch(refs, configs=[base_cfg], workers=2)
         for r in refs:
             assert store.load_profile(cache._profile_key(r)) is not None
+        # The content-addressed ILP tables persisted too — written by
+        # the workers themselves (atomic renames make that safe), so
+        # cross-run table sharing works on the parallel path as well.
+        assert list((store.root / "ilptables").glob("*.json"))
+
+    def test_incremental_config_uses_cached_artifacts(
+        self, store, base_cfg
+    ):
+        """Adding one design point to a warm store only pays for the
+        new point: the worker reads the satisfied profile/results back
+        from disk instead of recomputing (and the merged results match
+        an all-serial run)."""
+        refs = [BenchmarkRef("rodinia", n) for n in ("nw", "myocyte")]
+        small_cfg = table_iv_config("small")
+        warm = RunCache(scale=self.SCALE, store=store)
+        warm.prefetch(refs, configs=[base_cfg], workers=2,
+                      simulate=True)
+
+        cache = RunCache(scale=self.SCALE, store=store)
+        done = cache.prefetch(
+            refs, configs=[base_cfg, small_cfg], workers=2,
+            simulate=True,
+        )
+        assert sorted(done) == sorted(r.label for r in refs)
+        serial = RunCache(scale=self.SCALE)
+        for ref in refs:
+            for cfg in (base_cfg, small_cfg):
+                assert (
+                    cache.prediction(ref, cfg).total_cycles
+                    == serial.prediction(ref, cfg).total_cycles
+                )
+                assert (
+                    cache.simulation(ref, cfg).total_cycles
+                    == serial.simulation(ref, cfg).total_cycles
+                )
 
     def test_warm_store_prefetch_is_noop(
         self, store, base_cfg, monkeypatch

@@ -7,7 +7,6 @@ from repro.core.baselines import predict_crit, predict_main
 from repro.core.rppm import predict
 from repro.profiler.profiler import profile_workload
 from repro.simulator.multicore import simulate
-from repro.workloads import kernels as k
 from repro.workloads.builder import WorkloadBuilder
 from repro.workloads.generator import expand
 

@@ -1,6 +1,5 @@
 """Unit tests for the reference simulator (caches, core, multicore)."""
 
-import numpy as np
 import pytest
 
 from repro.arch.config import CacheConfig
@@ -18,7 +17,7 @@ from repro.simulator.core import CoreSim
 from repro.simulator.multicore import simulate
 from repro.workloads import kernels as k
 from repro.workloads.generator import expand, expand_epoch, _segment_rng
-from repro.workloads.ir import OP_LOAD, SyncKind, SyncOp
+from repro.workloads.ir import OP_LOAD
 
 from tests.conftest import (
     barrier_workload,
