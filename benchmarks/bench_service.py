@@ -1,0 +1,52 @@
+"""Serving-throughput benches (the BENCH_service trajectory).
+
+Boots the real asyncio HTTP server on an ephemeral port and measures
+warm-cache ``/v1/predict`` round trips — single-connection latency and
+closed-loop multi-client throughput.  The measurement logic lives in
+:mod:`repro.experiments.bench` / :mod:`repro.service.loadgen` (also
+wired to ``python -m repro bench``); this module is its pytest face,
+``perf``-marked so plain test runs skip it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.bench import (
+    check_service,
+    render_service,
+    run_service_bench,
+)
+from repro.service.client import ServiceClient
+from repro.service.engine import PredictionEngine
+from repro.service.server import BackgroundServer
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def warm_server():
+    engine = PredictionEngine(store=None)
+    with BackgroundServer(engine=engine, workers=2) as server:
+        with ServiceClient(port=server.port) as client:
+            client.predict("rodinia.nn", scale=0.5)  # warm the caches
+        yield server
+
+
+def test_bench_warm_predict_latency(benchmark, warm_server):
+    with ServiceClient(port=warm_server.port) as client:
+        benchmark.pedantic(
+            client.predict,
+            args=("rodinia.nn",),
+            kwargs={"scale": 0.5},
+            rounds=200,
+            iterations=1,
+        )
+
+
+def test_bench_closed_loop_throughput(report):
+    record = run_service_bench(
+        quick=False, output=None, duration_s=2.0
+    )
+    report("service bench", render_service(record))
+    assert not check_service(record)

@@ -14,9 +14,18 @@ Commands mirror the paper's workflow (Fig. 1):
   second report over the same suite — is nearly free.
 * ``bench``    — measure profiling throughput (vectorized vs seed
   scalar engines, reuse-distance and ILP scoreboard) and write
-  ``BENCH_profiler.json``; ``--check`` exits non-zero when a speedup
-  falls below the committed floor (the CI perf smoke test).
+  ``BENCH_profiler.json``, then serving throughput through the real
+  HTTP stack into ``BENCH_service.json``; ``--check`` exits non-zero
+  when a speedup or the serving rate falls below the committed floor
+  (the CI perf smoke test).
+* ``serve``    — run the prediction service (asyncio HTTP/JSON, see
+  :mod:`repro.service`): ``/v1/predict``, ``/v1/compare``,
+  ``/v1/sweep``, ``/v1/profiles``, ``/healthz``.
 * ``list``     — list benchmarks and design points.
+
+``predict`` and ``compare`` render through the same payload builders
+the service returns (:mod:`repro.service.engine`), so a service
+response re-rendered locally is byte-identical to the CLI output.
 """
 
 from __future__ import annotations
@@ -29,31 +38,30 @@ from typing import Optional
 
 from repro.arch.presets import TABLE_IV, table_iv_config
 from repro.core.rppm import predict
+from repro.experiments.suites import build_workload
 from repro.profiler.profile import WorkloadProfile
 from repro.profiler.profiler import profile_workload
+from repro.service.engine import (
+    PredictionEngine,
+    ServiceError,
+    format_compare,
+    format_prediction,
+    prediction_payload,
+    resolve_benchmark,
+)
 from repro.simulator.multicore import simulate
 from repro.workloads.generator import expand
-from repro.workloads.parsec import PARSEC, parsec_workload
-from repro.workloads.rodinia import RODINIA, rodinia_workload
+from repro.workloads.parsec import PARSEC
+from repro.workloads.rodinia import RODINIA
 
 
 def _build_workload(name: str, scale: float):
     """Resolve ``suite.benchmark`` (or bare benchmark) to a spec."""
-    if "." in name:
-        suite, bench = name.split(".", 1)
-    elif name in RODINIA:
-        suite, bench = "rodinia", name
-    elif name in PARSEC:
-        suite, bench = "parsec", name
-    else:
-        raise SystemExit(
-            f"unknown benchmark {name!r}; see `python -m repro list`"
-        )
-    if suite == "rodinia":
-        return rodinia_workload(bench, scale=scale)
-    if suite == "parsec":
-        return parsec_workload(bench, scale=scale)
-    raise SystemExit(f"unknown suite {suite!r}")
+    try:
+        ref = resolve_benchmark(name)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return build_workload(ref, scale)
 
 
 def _load_profile(args) -> WorkloadProfile:
@@ -62,12 +70,6 @@ def _load_profile(args) -> WorkloadProfile:
             return WorkloadProfile.from_dict(json.load(fh))
     spec = _build_workload(args.benchmark, args.scale)
     return profile_workload(spec)
-
-
-def _stack_line(stack) -> str:
-    return "  ".join(
-        f"{name}={value:.3f}" for name, value in stack.cpi().items()
-    )
 
 
 def cmd_list(args) -> int:
@@ -94,17 +96,18 @@ def cmd_profile(args) -> int:
 
 
 def cmd_predict(args) -> int:
-    profile = _load_profile(args)
-    config = table_iv_config(args.config, cores=args.cores)
-    result = predict(profile, config)
-    seconds = config.cycles_to_seconds(result.total_cycles)
-    print(f"{profile.name} on {config.name}: "
-          f"{result.total_cycles:,.0f} cycles "
-          f"({seconds * 1e6:.1f} us @ {config.core.frequency_ghz} GHz)")
-    for t in result.threads:
-        print(f"  thread {t.thread_id}: active {t.active_cycles:,.0f} "
-              f"idle {t.idle_cycles:,.0f}")
-    print("  CPI stack:", _stack_line(result.average_stack()))
+    if args.profile_json:
+        profile = _load_profile(args)
+        config = table_iv_config(args.config, cores=args.cores)
+        payload = prediction_payload(predict(profile, config), config)
+    else:
+        try:
+            payload = PredictionEngine().predict(
+                args.benchmark, args.config, args.cores, args.scale
+            )
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+    print(format_prediction(payload))
     return 0
 
 
@@ -113,28 +116,26 @@ def cmd_simulate(args) -> int:
     config = table_iv_config(args.config, cores=args.cores)
     result = simulate(expand(spec), config)
     seconds = config.cycles_to_seconds(result.total_cycles)
+    stack = "  ".join(
+        f"{name}={value:.3f}"
+        for name, value in result.average_stack().cpi().items()
+    )
     print(f"{result.workload} on {config.name}: "
           f"{result.total_cycles:,.0f} cycles "
           f"({seconds * 1e6:.1f} us), "
           f"{result.invalidations} invalidations")
-    print("  CPI stack:", _stack_line(result.average_stack()))
+    print("  CPI stack:", stack)
     return 0
 
 
 def cmd_compare(args) -> int:
-    spec = _build_workload(args.benchmark, args.scale)
-    trace = expand(spec)
-    profile = profile_workload(trace)
-    config = table_iv_config(args.config, cores=args.cores)
-    pred = predict(profile, config)
-    sim = simulate(trace, config)
-    err = pred.total_cycles / sim.total_cycles - 1.0
-    print(f"{trace.name} on {config.name}:")
-    print(f"  RPPM     : {pred.total_cycles:,.0f} cycles")
-    print(f"  simulated: {sim.total_cycles:,.0f} cycles")
-    print(f"  error    : {err:+.1%}")
-    print("  RPPM stack:", _stack_line(pred.average_stack()))
-    print("  sim  stack:", _stack_line(sim.average_stack()))
+    try:
+        payload = PredictionEngine().compare(
+            args.benchmark, args.config, args.cores, args.scale
+        )
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    print(format_compare(payload))
     return 0
 
 
@@ -185,7 +186,12 @@ def cmd_report(args) -> int:
 
 def cmd_bench(args) -> int:
     from repro.experiments.bench import (
-        check_bench, render_bench, run_profiler_bench,
+        check_bench,
+        check_service,
+        render_bench,
+        render_service,
+        run_profiler_bench,
+        run_service_bench,
     )
     result = run_profiler_bench(
         quick=args.quick, scale=args.scale, output=args.output
@@ -193,13 +199,37 @@ def cmd_bench(args) -> int:
     print(render_bench(result))
     if args.output:
         print(f"wrote {args.output}")
+    failures = check_bench(result) if args.check else []
+    if not args.no_service:
+        service = run_service_bench(
+            quick=args.quick, output=args.service_output
+        )
+        print(render_service(service))
+        if args.service_output:
+            print(f"wrote {args.service_output}")
+        if args.check:
+            failures += check_service(service)
     if args.check:
-        failures = check_bench(result)
         for line in failures:
             print(f"CHECK FAILED: {line}", file=sys.stderr)
         if failures:
             return 1
         print("bench --check: all committed floors cleared")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service.engine import default_store
+    from repro.service.server import PredictionService
+
+    store = None if args.no_store else default_store()
+    engine = PredictionEngine(store=store)
+    PredictionService(
+        engine=engine,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+    ).run()
     return 0
 
 
@@ -263,6 +293,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="exit non-zero if any engine speedup falls "
                         "below its committed floor (CI perf smoke)")
+    p.add_argument("--service-output", default="BENCH_service.json",
+                   metavar="PATH",
+                   help="serving-bench JSON record path "
+                        "(default BENCH_service.json)")
+    p.add_argument("--no-service", action="store_true",
+                   help="skip the serving-throughput bench")
+
+    p = sub.add_parser(
+        "serve", help="run the prediction service (HTTP/JSON)"
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8000,
+                   help="TCP port (default 8000; 0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="engine worker threads (default 2)")
+    p.add_argument("--no-store", action="store_true",
+                   help="serve without the on-disk artifact store")
     return parser
 
 
@@ -280,6 +328,7 @@ def main(argv: Optional[list] = None) -> int:
         "compare": cmd_compare,
         "report": cmd_report,
         "bench": cmd_bench,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -12,7 +12,7 @@ stacks compare directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.arch.config import MulticoreConfig
 from repro.core.cpi_stack import CPIStack
@@ -57,10 +57,20 @@ class PredictionResult:
 
 
 def predict(
-    profile: WorkloadProfile, config: MulticoreConfig
+    profile: WorkloadProfile,
+    config: MulticoreConfig,
+    cache: Optional[EpochCostCache] = None,
 ) -> PredictionResult:
-    """Predict multithreaded execution on ``config`` from ``profile``."""
-    cache = EpochCostCache(profile, config)
+    """Predict multithreaded execution on ``config`` from ``profile``.
+
+    ``cache`` lets long-lived callers (the serving engine) keep the
+    per-(thread, pool) Eq.-1 memo resident across calls for the same
+    (profile, config) pair — the memo is read/extend-only, so reuse is
+    safe and repeat predictions skip every Eq.-1 evaluation.  It must
+    have been built for this exact profile and config.
+    """
+    if cache is None:
+        cache = EpochCostCache(profile, config)
 
     # Phase 1: active cycles per segment (memoised per pool).
     durations: List[List[float]] = []

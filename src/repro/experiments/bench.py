@@ -68,6 +68,15 @@ CHECK_FLOORS: Dict[str, float] = {
     "ilp_max_rel_err": 1e-9,
 }
 
+#: Committed serving floors: warm-cache ``/v1/predict`` throughput
+#: through the real HTTP stack (req/s) and the end-to-end success
+#: requirement.  Measured rates on a developer-class core are in the
+#: thousands; 200 absorbs noisy shared CI runners.
+SERVICE_FLOORS: Dict[str, float] = {
+    "warm_rps": 200.0,
+    "max_error_rate": 0.0,
+}
+
 
 class SuiteStreams:
     """The access streams of one benchmark, in profiler chunk order."""
@@ -320,6 +329,75 @@ def run_profiler_bench(
         with open(output, "w") as fh:
             json.dump(result, fh, indent=2)
     return result
+
+
+def run_service_bench(
+    quick: bool = False,
+    output: Optional[str] = "BENCH_service.json",
+    duration_s: Optional[float] = None,
+    concurrency: int = 8,
+    scale: float = 0.5,
+) -> Dict:
+    """Measure warm-cache serving throughput through the real stack.
+
+    Boots the asyncio HTTP server on an ephemeral port (memory-only
+    engine, so the record reflects this build, not a previous run's
+    disk cache), drives it with the closed-loop load generator and
+    writes the ``BENCH_service.json`` record.
+    """
+    from repro.service.engine import PredictionEngine
+    from repro.service.loadgen import run_loadgen
+    from repro.service.server import BackgroundServer
+
+    if duration_s is None:
+        duration_s = 1.5 if quick else 4.0
+    engine = PredictionEngine(store=None)
+    with BackgroundServer(engine=engine, workers=2) as server:
+        record = run_loadgen(
+            "127.0.0.1", server.port,
+            benchmark="rodinia.nn", config="base", scale=scale,
+            duration_s=duration_s, concurrency=concurrency,
+        )
+    record["mode"] = "quick" if quick else "full"
+    if output:
+        with open(output, "w") as fh:
+            json.dump(record, fh, indent=2)
+    return record
+
+
+def check_service(record: Dict) -> List[str]:
+    """Validate a serving record against :data:`SERVICE_FLOORS`."""
+    failures = []
+    rps = record["throughput_rps"]
+    if rps < SERVICE_FLOORS["warm_rps"]:
+        failures.append(
+            f"service warm-cache throughput {rps:.0f} req/s below "
+            f"committed floor {SERVICE_FLOORS['warm_rps']:.0f} req/s"
+        )
+    total = record["requests"] + record["errors"]
+    error_rate = record["errors"] / total if total else 1.0
+    if error_rate > SERVICE_FLOORS["max_error_rate"]:
+        failures.append(
+            f"service error rate {error_rate:.2%} above tolerance "
+            f"{SERVICE_FLOORS['max_error_rate']:.0%}"
+        )
+    return failures
+
+
+def render_service(record: Dict) -> str:
+    """Human-readable summary of a serving record."""
+    lat = record["latency_ms"]
+    return "\n".join([
+        f"service bench ({record.get('mode', '?')}, "
+        f"{record['benchmark']} on {record['config']}, "
+        f"concurrency={record['concurrency']})",
+        f"  warm /v1/predict     : {record['throughput_rps']:8.0f} "
+        f"req/s  (p50 {lat['p50']:.2f} ms, p99 {lat['p99']:.2f} ms, "
+        f"{record['errors']} errors)",
+        f"  result-cache hit rate: {record['cache_hit_rate']:8.1%}  "
+        f"({record['single_flight_collapsed']} single-flight "
+        f"collapses)",
+    ])
 
 
 def check_bench(result: Dict) -> List[str]:

@@ -144,6 +144,21 @@ class ProfileStore:
     def _path(self, kind: str, key: str, ext: str) -> Path:
         return self.root / kind / f"{key}.{ext}"
 
+    def list_keys(self, kind: str) -> list:
+        """Keys of all persisted artifacts of one kind (best effort).
+
+        Used by the serving layer's ``/v1/profiles`` inventory; a
+        missing or unreadable kind directory is an empty store, not an
+        error.
+        """
+        try:
+            return sorted(
+                p.stem for p in (self.root / kind).iterdir()
+                if p.suffix in (".json", ".pkl")
+            )
+        except OSError:
+            return []
+
     def _write(self, path: Path, data: bytes) -> None:
         try:
             path.parent.mkdir(parents=True, exist_ok=True)

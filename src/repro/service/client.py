@@ -1,0 +1,146 @@
+"""Thin synchronous client for the prediction service.
+
+``http.client`` over one keep-alive connection — the dependency-free
+counterpart of the server, used by the tests, the load generator and
+any scripting against a running ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional, Sequence
+from urllib.parse import urlencode
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """One keep-alive connection to a prediction service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: dict = None) -> dict:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = (
+            {"Content-Type": "application/json"} if payload else {}
+        )
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.HTTPException, ConnectionError, OSError
+            ):
+                # A stale keep-alive connection (server restarted,
+                # idle timeout) gets one reconnect.
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(data)
+        except ValueError:
+            raise ServiceError(
+                response.status, {"error": data.decode(errors="replace")}
+            )
+        if response.status >= 400:
+            raise ServiceError(response.status, decoded)
+        return decoded
+
+    @staticmethod
+    def _query(**params) -> str:
+        return urlencode(
+            {k: v for k, v in params.items() if v not in (None, "", ())}
+        )
+
+    # -- endpoints ----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def profiles(self) -> dict:
+        return self._request("GET", "/v1/profiles")
+
+    def predict(
+        self,
+        benchmark: str,
+        config: str = "base",
+        cores: int = 4,
+        scale: float = 1.0,
+    ) -> dict:
+        query = self._query(
+            benchmark=benchmark, config=config, cores=cores, scale=scale
+        )
+        return self._request("GET", f"/v1/predict?{query}")
+
+    def compare(
+        self,
+        benchmark: str,
+        config: str = "base",
+        cores: int = 4,
+        scale: float = 1.0,
+    ) -> dict:
+        query = self._query(
+            benchmark=benchmark, config=config, cores=cores, scale=scale
+        )
+        return self._request("GET", f"/v1/compare?{query}")
+
+    def sweep(
+        self,
+        benchmark: str,
+        configs: Sequence[str] = (),
+        cores: int = 4,
+        scale: float = 1.0,
+    ) -> dict:
+        body = {
+            "benchmark": benchmark,
+            "cores": cores,
+            "scale": scale,
+        }
+        if configs:
+            body["configs"] = list(configs)
+        return self._request("POST", "/v1/sweep", body=body)
+
+
+__all__ = ["ServiceClient", "ServiceError"]

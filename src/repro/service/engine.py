@@ -1,0 +1,485 @@
+"""The long-lived prediction engine behind the serving subsystem.
+
+A CLI invocation pays import + profile + predict for every answer; the
+:class:`PredictionEngine` instead keeps the paper's "one-time cost"
+artifacts resident across requests:
+
+* hot :class:`~repro.profiler.profile.WorkloadProfile` objects, in an
+  in-process LRU keyed by the *store* profile key (label, seed, scale,
+  chunk) — so the memory cache, the on-disk store and every worker
+  process agree on identity;
+* per-pool ILP tables via the content-addressed
+  :class:`~repro.profiler.ilp_batch.ILPTableCache`;
+* per-(profile, config) :class:`~repro.core.epoch_model.EpochCostCache`
+  memos, so repeat predictions skip every Eq.-1 evaluation;
+* finished response payloads, keyed by the full request tuple.
+
+The engine is synchronous and thread-safe — transports (the asyncio
+HTTP server, the CLI, tests) call it from whatever execution context
+they own.  Payload helpers (:func:`prediction_payload`,
+:func:`format_prediction`, …) are the single source of truth for the
+service's JSON schema *and* the CLI's text output, which is what makes
+``/v1/predict`` responses bit-identical to ``python -m repro predict``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.config import MulticoreConfig
+from repro.arch.presets import TABLE_IV, table_iv_config
+from repro.core.epoch_model import EpochCostCache
+from repro.core.rppm import PredictionResult, predict
+from repro.experiments.store import ProfileStore, config_fingerprint
+from repro.experiments.suites import BenchmarkRef, build_workload
+from repro.profiler.ilp_batch import ILPTableCache
+from repro.profiler.profile import WorkloadProfile
+from repro.profiler.profiler import profile_workload
+from repro.service.batching import LRUCache
+from repro.simulator.multicore import simulate
+from repro.workloads.generator import expand
+from repro.workloads.parsec import PARSEC
+from repro.workloads.rodinia import RODINIA
+
+
+def resolve_benchmark(name: str) -> BenchmarkRef:
+    """Resolve ``suite.benchmark`` (or a bare benchmark name).
+
+    Raises ``ValueError`` for unknown names — transports map this to
+    404 / ``SystemExit`` as appropriate.
+    """
+    if "." in name:
+        suite, bench = name.split(".", 1)
+    elif name in RODINIA:
+        suite, bench = "rodinia", name
+    elif name in PARSEC:
+        suite, bench = "parsec", name
+    else:
+        raise ValueError(
+            f"unknown benchmark {name!r}; see `python -m repro list`"
+        )
+    if suite not in ("rodinia", "parsec"):
+        raise ValueError(f"unknown suite {suite!r}")
+    return BenchmarkRef(suite, bench)
+
+
+def default_store() -> Optional[ProfileStore]:
+    """The shared on-disk store, or ``None`` when its root is unusable.
+
+    Mirrors :func:`repro.experiments.suites.shared_cache`: non-strict,
+    so an unwritable root degrades the engine to memory-only caching.
+    """
+    try:
+        store = ProfileStore(strict=False)
+        store.root.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    return store
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One transport-independent unit of serving work."""
+
+    kind: str  # "predict" | "compare" | "sweep"
+    benchmark: str
+    config: str = "base"
+    cores: int = 4
+    scale: float = 1.0
+    configs: Tuple[str, ...] = ()  # sweep only; () = all of Table IV
+
+    def key(self) -> tuple:
+        """Coalescing/memo identity: every field that changes the answer."""
+        return (
+            self.kind, self.benchmark, self.config, self.cores,
+            self.scale, self.configs,
+        )
+
+
+@dataclass
+class EngineStats:
+    """Monotonic counters surfaced by ``/healthz``."""
+
+    requests: Dict[str, int] = field(default_factory=dict)
+    computed: Dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    profiles_built: int = 0
+    profiles_from_store: int = 0
+    predictions_run: int = 0
+    simulations_run: int = 0
+
+
+class ServiceError(Exception):
+    """An error with an HTTP-ish status, raised by engine entry points."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class PredictionEngine:
+    """Resident profiles + caches serving predict/compare/sweep calls."""
+
+    def __init__(
+        self,
+        store: Optional[ProfileStore] = None,
+        chunk: int = 4096,
+        max_profiles: int = 32,
+        max_cost_caches: int = 128,
+        max_results: int = 4096,
+    ) -> None:
+        self.store = store
+        self.chunk = chunk
+        self.ilp_cache = ILPTableCache(store)
+        #: profile store key -> (label, WorkloadProfile)
+        self._profiles = LRUCache(max_profiles)
+        #: (profile key, config fingerprint) -> EpochCostCache
+        self._costs = LRUCache(max_cost_caches)
+        #: request key -> finished payload (treated as immutable)
+        self.results = LRUCache(max_results)
+        #: (label, scale) -> workload seed (pure function; bounded like
+        #: every other engine cache — the key is client-controlled)
+        self._seeds = LRUCache(4096)
+        self._lock = threading.Lock()
+        self.stats = EngineStats()
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _count(self, field_name: str, kind: str) -> None:
+        with self._lock:
+            counter = getattr(self.stats, field_name)
+            counter[kind] = counter.get(kind, 0) + 1
+
+    def _bump(self, attr: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self.stats, attr, getattr(self.stats, attr) + by)
+
+    # -- workload / profile resolution --------------------------------------
+
+    def _spec(self, ref: BenchmarkRef, scale: float):
+        spec = build_workload(ref, scale)
+        self._seeds.put((ref.label, scale), int(spec.seed))
+        return spec
+
+    def _seed(self, ref: BenchmarkRef, scale: float) -> int:
+        seed = self._seeds.get((ref.label, scale))
+        if seed is None:
+            seed = int(self._spec(ref, scale).seed)
+        return seed
+
+    def profile_key(self, ref: BenchmarkRef, scale: float) -> str:
+        return ProfileStore.profile_key(
+            ref.label, self._seed(ref, scale), scale, self.chunk
+        )
+
+    def profile(
+        self, ref: BenchmarkRef, scale: float
+    ) -> Tuple[str, WorkloadProfile]:
+        """The resident profile for a benchmark (LRU -> store -> build)."""
+        key = self.profile_key(ref, scale)
+        hit = self._profiles.get(key)
+        if hit is not None:
+            return key, hit[1]
+        profile = None
+        if self.store is not None:
+            profile = self.store.load_profile(key)
+            if profile is not None:
+                self._bump("profiles_from_store")
+        if profile is None:
+            profile = profile_workload(
+                expand(self._spec(ref, scale)),
+                chunk=self.chunk,
+                ilp_cache=self.ilp_cache,
+            )
+            self._bump("profiles_built")
+            if self.store is not None:
+                self.store.save_profile(key, profile)
+        self._profiles.put(key, (ref.label, profile))
+        return key, profile
+
+    def _cost_cache(
+        self, pkey: str, profile: WorkloadProfile, config: MulticoreConfig
+    ) -> EpochCostCache:
+        ckey = (pkey, config_fingerprint(config))
+        cache = self._costs.get(ckey)
+        if cache is None:
+            cache = EpochCostCache(profile, config)
+            self._costs.put(ckey, cache)
+        return cache
+
+    @staticmethod
+    def _config(name: str, cores: int) -> MulticoreConfig:
+        try:
+            return table_iv_config(name, cores=cores)
+        except ValueError as exc:
+            raise ServiceError(400, str(exc)) from None
+
+    @staticmethod
+    def _ref(benchmark: str) -> BenchmarkRef:
+        try:
+            return resolve_benchmark(benchmark)
+        except ValueError as exc:
+            raise ServiceError(404, str(exc)) from None
+
+    # -- entry points -------------------------------------------------------
+
+    def predict(
+        self,
+        benchmark: str,
+        config: str = "base",
+        cores: int = 4,
+        scale: float = 1.0,
+    ) -> dict:
+        """``/v1/predict``: RPPM prediction payload, heavily memoized."""
+        request = ServiceRequest(
+            "predict", benchmark, config, cores, scale
+        )
+        self._count("requests", "predict")
+        cached = self.results.get(request.key())
+        if cached is not None:
+            return cached
+        ref = self._ref(benchmark)
+        cfg = self._config(config, cores)
+        pkey, profile = self.profile(ref, scale)
+        result = predict(
+            profile, cfg, cache=self._cost_cache(pkey, profile, cfg)
+        )
+        self._bump("predictions_run")
+        self._count("computed", "predict")
+        payload = prediction_payload(result, cfg)
+        self.results.put(request.key(), payload)
+        return payload
+
+    def compare(
+        self,
+        benchmark: str,
+        config: str = "base",
+        cores: int = 4,
+        scale: float = 1.0,
+    ) -> dict:
+        """``/v1/compare``: prediction vs. golden-reference simulation."""
+        request = ServiceRequest(
+            "compare", benchmark, config, cores, scale
+        )
+        self._count("requests", "compare")
+        cached = self.results.get(request.key())
+        if cached is not None:
+            return cached
+        ref = self._ref(benchmark)
+        cfg = self._config(config, cores)
+        pkey, profile = self.profile(ref, scale)
+        pred = predict(
+            profile, cfg, cache=self._cost_cache(pkey, profile, cfg)
+        )
+        self._bump("predictions_run")
+        sim = simulate(expand(self._spec(ref, scale)), cfg)
+        self._bump("simulations_run")
+        self._count("computed", "compare")
+        payload = compare_payload(pred, sim, cfg)
+        self.results.put(request.key(), payload)
+        return payload
+
+    def sweep(
+        self,
+        benchmark: str,
+        configs: Tuple[str, ...] = (),
+        cores: int = 4,
+        scale: float = 1.0,
+    ) -> dict:
+        """``/v1/sweep``: one profile driving many design points."""
+        request = ServiceRequest(
+            "sweep", benchmark, "", cores, scale, tuple(configs)
+        )
+        self._count("requests", "sweep")
+        cached = self.results.get(request.key())
+        if cached is not None:
+            return cached
+        names = tuple(configs) or tuple(TABLE_IV)
+        results = [
+            self.predict(benchmark, name, cores, scale) for name in names
+        ]
+        self._count("computed", "sweep")
+        payload = {
+            "benchmark": benchmark,
+            "cores": cores,
+            "scale": scale,
+            "configs": list(names),
+            "results": results,
+        }
+        self.results.put(request.key(), payload)
+        return payload
+
+    def profiles(self) -> dict:
+        """``/v1/profiles``: resident + persisted profile inventory."""
+        resident = [
+            {
+                "key": key,
+                "benchmark": label,
+                "n_threads": profile.n_threads,
+                "n_instructions": profile.n_instructions,
+                "seed": profile.seed,
+            }
+            for key, (label, profile) in self._profiles.items()
+        ]
+        payload = {"resident": resident}
+        if self.store is not None:
+            payload["store"] = {
+                "root": str(self.store.root),
+                "profiles": len(self.store.list_keys("profiles")),
+                "ilptables": len(self.store.list_keys("ilptables")),
+            }
+        return payload
+
+    def health(self) -> dict:
+        """Engine half of ``/healthz``."""
+        with self._lock:
+            stats = {
+                "requests": dict(self.stats.requests),
+                "computed": dict(self.stats.computed),
+                "errors": self.stats.errors,
+                "profiles_built": self.stats.profiles_built,
+                "profiles_from_store": self.stats.profiles_from_store,
+                "predictions_run": self.stats.predictions_run,
+                "simulations_run": self.stats.simulations_run,
+            }
+        stats["result_cache"] = self.results.stats()
+        stats["profile_cache"] = self._profiles.stats()
+        stats["cost_cache"] = self._costs.stats()
+        return stats
+
+    # -- batch face (used by the coalescer) ---------------------------------
+
+    def handle(self, request: ServiceRequest) -> Tuple[int, dict]:
+        """Serve one request; never raises — errors become payloads."""
+        try:
+            if request.kind == "predict":
+                return 200, self.predict(
+                    request.benchmark, request.config, request.cores,
+                    request.scale,
+                )
+            if request.kind == "compare":
+                return 200, self.compare(
+                    request.benchmark, request.config, request.cores,
+                    request.scale,
+                )
+            if request.kind == "sweep":
+                return 200, self.sweep(
+                    request.benchmark, request.configs, request.cores,
+                    request.scale,
+                )
+            return 400, {"error": f"unknown request kind {request.kind!r}"}
+        except ServiceError as exc:
+            self._bump("errors")
+            return exc.status, {"error": str(exc)}
+        except Exception as exc:  # engine bug: report, don't kill the batch
+            self._bump("errors")
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def handle_batch(
+        self, requests: List[ServiceRequest]
+    ) -> List[Tuple[int, dict]]:
+        """One executor hop serving a coalesced group of requests."""
+        return [self.handle(request) for request in requests]
+
+
+# -- payloads and their CLI renderings --------------------------------------
+#
+# The payload builders and ``format_*`` renderers below are shared by
+# the HTTP server and ``repro predict`` / ``repro compare``: the CLI
+# prints exactly ``format_prediction(prediction_payload(...))``, so a
+# service response re-rendered through the same formatter reproduces
+# the CLI output byte for byte (floats survive JSON round-trips
+# exactly).
+
+
+def _stack_dict(stack) -> Dict[str, float]:
+    return {name: float(value) for name, value in stack.cpi().items()}
+
+
+def prediction_payload(
+    result: PredictionResult, config: MulticoreConfig
+) -> dict:
+    return {
+        "benchmark": result.workload,
+        "config": result.config,
+        "cores": config.cores,
+        "frequency_ghz": config.core.frequency_ghz,
+        "total_cycles": result.total_cycles,
+        "seconds": config.cycles_to_seconds(result.total_cycles),
+        "threads": [
+            {
+                "thread_id": t.thread_id,
+                "instructions": t.instructions,
+                "active_cycles": t.active_cycles,
+                "idle_cycles": t.idle_cycles,
+            }
+            for t in result.threads
+        ],
+        "cpi_stack": _stack_dict(result.average_stack()),
+    }
+
+
+def compare_payload(
+    pred: PredictionResult, sim, config: MulticoreConfig
+) -> dict:
+    return {
+        "benchmark": pred.workload,
+        "config": config.name,
+        "cores": config.cores,
+        "predicted_cycles": pred.total_cycles,
+        "simulated_cycles": sim.total_cycles,
+        "error": pred.total_cycles / sim.total_cycles - 1.0,
+        "prediction_stack": _stack_dict(pred.average_stack()),
+        "simulation_stack": _stack_dict(sim.average_stack()),
+        "invalidations": sim.invalidations,
+    }
+
+
+def _stack_line(stack: Dict[str, float]) -> str:
+    return "  ".join(
+        f"{name}={value:.3f}" for name, value in stack.items()
+    )
+
+
+def format_prediction(payload: dict) -> str:
+    lines = [
+        f"{payload['benchmark']} on {payload['config']}: "
+        f"{payload['total_cycles']:,.0f} cycles "
+        f"({payload['seconds'] * 1e6:.1f} us @ "
+        f"{payload['frequency_ghz']} GHz)"
+    ]
+    for t in payload["threads"]:
+        lines.append(
+            f"  thread {t['thread_id']}: "
+            f"active {t['active_cycles']:,.0f} "
+            f"idle {t['idle_cycles']:,.0f}"
+        )
+    lines.append("  CPI stack: " + _stack_line(payload["cpi_stack"]))
+    return "\n".join(lines)
+
+
+def format_compare(payload: dict) -> str:
+    return "\n".join([
+        f"{payload['benchmark']} on {payload['config']}:",
+        f"  RPPM     : {payload['predicted_cycles']:,.0f} cycles",
+        f"  simulated: {payload['simulated_cycles']:,.0f} cycles",
+        f"  error    : {payload['error']:+.1%}",
+        "  RPPM stack: " + _stack_line(payload["prediction_stack"]),
+        "  sim  stack: " + _stack_line(payload["simulation_stack"]),
+    ])
+
+
+__all__ = [
+    "EngineStats",
+    "PredictionEngine",
+    "ServiceError",
+    "ServiceRequest",
+    "compare_payload",
+    "default_store",
+    "format_compare",
+    "format_prediction",
+    "prediction_payload",
+    "resolve_benchmark",
+]

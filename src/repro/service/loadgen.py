@@ -1,0 +1,136 @@
+"""Closed-loop load generator for the prediction service.
+
+``concurrency`` worker threads each own one keep-alive
+:class:`~repro.service.client.ServiceClient` and issue back-to-back
+``/v1/predict`` requests until the deadline — the classic closed-loop
+harness, so measured throughput is the service's sustainable rate at
+that concurrency, not an open-loop arrival fantasy.  The warm-up
+request runs the one-time profile cost before timing starts, making
+the record the *serving* trajectory (``BENCH_service.json``), separate
+from the profiling trajectory (``BENCH_profiler.json``).
+
+Record schema (``schema`` = 1)::
+
+    {
+      "schema": 1, "endpoint": "/v1/predict",
+      "benchmark": ..., "config": ..., "cores": ..., "scale": ...,
+      "concurrency": N, "duration_s": measured wall-clock,
+      "requests": count, "errors": count,
+      "throughput_rps": requests / duration,
+      "latency_ms": {"mean": ..., "p50": ..., "p99": ..., "max": ...},
+      "cache_hit_rate": served-from-result-LRU fraction,
+      "single_flight_collapsed": coalesced duplicate count
+    }
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.service.client import ServiceClient
+
+SERVICE_BENCH_SCHEMA = 1
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    benchmark: str = "rodinia.nn",
+    config: str = "base",
+    cores: int = 4,
+    scale: float = 1.0,
+    duration_s: float = 2.0,
+    concurrency: int = 8,
+) -> Dict:
+    """Drive a running service; return the ``BENCH_service`` record."""
+    params = {
+        "benchmark": benchmark, "config": config,
+        "cores": cores, "scale": scale,
+    }
+    with ServiceClient(host, port) as warm:
+        warm.predict(**params)  # one-time profile cost, outside timing
+        stats0 = warm.healthz()
+
+    latencies: List[float] = []
+    errors: List[int] = []
+    sink_lock = threading.Lock()
+    # Workers park on the barrier until the main thread has stamped the
+    # deadline, so connection ramp-up never eats the measurement window.
+    barrier = threading.Barrier(concurrency + 1)
+    state = {"deadline": 0.0}
+
+    def _run() -> None:
+        with ServiceClient(host, port) as client:
+            mine: List[float] = []
+            failed = 0
+            barrier.wait()
+            while True:
+                t0 = time.perf_counter()
+                if t0 >= state["deadline"]:
+                    break
+                try:
+                    client.predict(**params)
+                except Exception:
+                    failed += 1
+                    continue
+                mine.append(time.perf_counter() - t0)
+            with sink_lock:
+                latencies.extend(mine)
+                errors.append(failed)
+
+    threads = [
+        threading.Thread(target=_run, daemon=True)
+        for _ in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    t_start = time.perf_counter()
+    state["deadline"] = t_start + duration_s
+    barrier.wait()  # release all workers at once
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t_start
+
+    with ServiceClient(host, port) as probe:
+        stats1 = probe.healthz()
+
+    lat = np.asarray(latencies, dtype=np.float64) * 1e3
+    requests = len(latencies)
+    cache0 = stats0["engine"]["result_cache"]
+    cache1 = stats1["engine"]["result_cache"]
+    d_hits = cache1["hits"] - cache0["hits"]
+    d_lookups = d_hits + cache1["misses"] - cache0["misses"]
+    collapsed = (
+        stats1["coalescer"]["collapsed"]
+        - stats0["coalescer"]["collapsed"]
+    )
+    return {
+        "schema": SERVICE_BENCH_SCHEMA,
+        "endpoint": "/v1/predict",
+        "benchmark": benchmark,
+        "config": config,
+        "cores": cores,
+        "scale": scale,
+        "concurrency": concurrency,
+        "duration_s": elapsed,
+        "requests": requests,
+        "errors": int(sum(errors)),
+        "throughput_rps": requests / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "mean": float(lat.mean()) if requests else 0.0,
+            "p50": float(np.percentile(lat, 50)) if requests else 0.0,
+            "p99": float(np.percentile(lat, 99)) if requests else 0.0,
+            "max": float(lat.max()) if requests else 0.0,
+        },
+        "cache_hit_rate": (
+            d_hits / d_lookups if d_lookups > 0 else 0.0
+        ),
+        "single_flight_collapsed": int(collapsed),
+    }
+
+
+__all__ = ["SERVICE_BENCH_SCHEMA", "run_loadgen"]

@@ -1,0 +1,376 @@
+"""Asyncio HTTP/JSON front end of the prediction service.
+
+Stdlib only: ``asyncio.start_server`` plus a small HTTP/1.1
+keep-alive parser — no web framework, so the service runs anywhere the
+reproduction runs.  The event loop owns parsing and routing; engine
+work happens on a thread pool behind the
+:class:`~repro.service.batching.Coalescer`, which deduplicates
+identical in-flight requests (single-flight) and ships distinct ones
+to the engine in micro-batches.
+
+Endpoints::
+
+    GET  /healthz                         liveness + engine/coalescer stats
+    GET  /v1/profiles                     resident + persisted profiles
+    GET|POST /v1/predict                  RPPM prediction
+    GET|POST /v1/compare                  prediction vs. simulation
+    GET|POST /v1/sweep                    one profile, many design points
+
+Parameters come from the query string or a JSON body (body wins):
+``benchmark`` (required), ``config`` (default ``base``), ``cores``
+(default 4), ``scale`` (default 1.0) and, for sweep, ``configs`` (comma
+list / JSON array; default: all Table IV points).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.batching import Coalescer
+from repro.service.engine import PredictionEngine, ServiceRequest
+
+#: Upper bound on request head + body sizes (this is a compute service,
+#: not a file store).
+_MAX_HEAD = 64 * 1024
+_MAX_BODY = 1024 * 1024
+#: Parameter guards: a single request must not be able to commission an
+#: arbitrarily large workload expansion on an engine worker.
+_MAX_CORES = 1024
+_MAX_SCALE = 100.0
+
+
+class PredictionService:
+    """One engine + coalescer + asyncio HTTP server."""
+
+    def __init__(
+        self,
+        engine: Optional[PredictionEngine] = None,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        workers: int = 2,
+    ) -> None:
+        self.engine = engine if engine is not None else PredictionEngine()
+        self.host = host
+        self.port = port
+        self.workers = max(1, workers)
+        self.requests_served = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._coalescer: Optional[Coalescer] = None
+        self._connections: set = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-engine",
+        )
+        self._coalescer = Coalescer(
+            self.engine.handle_batch,
+            self._executor,
+            max_workers=self.workers,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=_MAX_HEAD,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Shake off idle keep-alive connections so their handler tasks
+        # exit before the event loop is torn down.
+        for writer in list(self._connections):
+            writer.close()
+        await asyncio.sleep(0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    def run(self) -> None:
+        """Blocking entry point for ``python -m repro serve``."""
+
+        async def _main():
+            await self.start()
+            print(
+                f"repro service listening on "
+                f"http://{self.host}:{self.port} "
+                f"({self.workers} engine workers)",
+                flush=True,
+            )
+            await self._server.serve_forever()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    # -- HTTP ---------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    asyncio.LimitOverrunError,
+                ):
+                    break
+                request = _parse_head(head)
+                if request is None:
+                    await self._respond(
+                        writer, 400, {"error": "malformed request"},
+                        close=True,
+                    )
+                    break
+                method, target, headers = request
+                length = int(headers.get("content-length", "0") or "0")
+                if length > _MAX_BODY:
+                    await self._respond(
+                        writer, 413, {"error": "body too large"},
+                        close=True,
+                    )
+                    break
+                body = b""
+                if length:
+                    try:
+                        body = await reader.readexactly(length)
+                    except asyncio.IncompleteReadError:
+                        break
+                status, payload = await self._route(method, target, body)
+                self.requests_served += 1
+                keep = headers.get("connection", "").lower() != "close"
+                await self._respond(
+                    writer, status, payload, close=not keep
+                )
+                if not keep:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # event-loop teardown mid-request
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (
+                ConnectionResetError, BrokenPipeError, OSError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    async def _respond(
+        self, writer, status: int, payload: dict, close: bool
+    ) -> None:
+        body = json.dumps(payload).encode()
+        reason = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error",
+        }.get(status, "Error")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing ------------------------------------------------------------
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, dict]:
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self._health()
+        if path == "/v1/profiles":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self.engine.profiles()
+        if path in ("/v1/predict", "/v1/compare", "/v1/sweep"):
+            if method not in ("GET", "POST"):
+                return 405, {"error": "use GET or POST"}
+            try:
+                request = _build_request(path.rsplit("/", 1)[1],
+                                         parts.query, body)
+            except ValueError as exc:
+                return 400, {"error": str(exc)}
+            return await self._coalescer.submit(request.key(), request)
+        return 404, {"error": f"no route for {path}"}
+
+    def _health(self) -> dict:
+        return {
+            "status": "ok",
+            "workers": self.workers,
+            "requests_served": self.requests_served,
+            "engine": self.engine.health(),
+            "coalescer": (
+                self._coalescer.stats()
+                if self._coalescer is not None else {}
+            ),
+        }
+
+
+def _parse_head(head: bytes) -> Optional[Tuple[str, str, dict]]:
+    try:
+        text = head.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, target, _version = request_line.split(" ", 2)
+    except ValueError:
+        return None
+    headers = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            return None
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), target, headers
+
+
+def _build_request(
+    kind: str, query: str, body: bytes
+) -> ServiceRequest:
+    """Merge query-string and JSON-body parameters into a request."""
+    params = {
+        key: values[-1]
+        for key, values in parse_qs(query, keep_blank_values=True).items()
+    }
+    if body:
+        try:
+            decoded = json.loads(body)
+        except ValueError:
+            raise ValueError("body is not valid JSON")
+        if not isinstance(decoded, dict):
+            raise ValueError("JSON body must be an object")
+        params.update(decoded)
+    benchmark = params.get("benchmark")
+    if not benchmark or not isinstance(benchmark, str):
+        raise ValueError("missing required parameter 'benchmark'")
+    try:
+        cores = int(params.get("cores", 4))
+        scale = float(params.get("scale", 1.0))
+    except (TypeError, ValueError):
+        raise ValueError("'cores' must be an int and 'scale' a float")
+    # Bounds double as a resource guard: scale drives workload
+    # expansion, so inf/NaN or absurd values must not reach a worker.
+    if not 1 <= cores <= _MAX_CORES:
+        raise ValueError(f"'cores' must be in [1, {_MAX_CORES}]")
+    if not 0.0 < scale <= _MAX_SCALE:  # False for NaN too
+        raise ValueError(f"'scale' must be in (0, {_MAX_SCALE}]")
+    configs = params.get("configs", ())
+    if isinstance(configs, str):
+        configs = tuple(c for c in configs.split(",") if c)
+    elif isinstance(configs, (list, tuple)):
+        configs = tuple(str(c) for c in configs)
+    else:
+        raise ValueError("'configs' must be a list or comma string")
+    return ServiceRequest(
+        kind=kind,
+        benchmark=benchmark,
+        config=str(params.get("config", "base")),
+        cores=cores,
+        scale=scale,
+        configs=configs,
+    )
+
+
+class BackgroundServer:
+    """A service on a daemon thread — the harness tests and the load
+    generator boot the real server with, on an ephemeral port.
+
+    Usage::
+
+        with BackgroundServer(engine=engine) as server:
+            client = ServiceClient(port=server.port)
+    """
+
+    def __init__(
+        self,
+        engine: Optional[PredictionEngine] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+    ) -> None:
+        self.service = PredictionService(
+            engine=engine, host=host, port=port, workers=workers
+        )
+        self.port: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._error: Optional[BaseException] = None
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        if self._error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._error}"
+            ) from self._error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surface boot failures to start()
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.service.start()
+        self.port = self.service.port
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.service.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = ["BackgroundServer", "PredictionService"]

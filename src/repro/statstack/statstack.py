@@ -22,11 +22,39 @@ directly; cold/invalidated accesses play the role of never-reused
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Tuple
 
 import numpy as np
 
 from repro.profiler.histogram import RDHistogram
+
+#: Entries kept in the stack-distance curve memo.  A design-space sweep
+#: touches each distinct histogram a handful of times per config times
+#: five configs; a few hundred curves cover every realistic run.
+_SD_CACHE_MAX = 512
+
+_sd_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+_sd_lock = threading.Lock()
+_sd_hits = 0
+_sd_misses = 0
+
+
+def sd_cache_stats() -> dict:
+    """Hit/miss counters of the stack-distance memo (for tests/metrics)."""
+    with _sd_lock:
+        return {
+            "hits": _sd_hits, "misses": _sd_misses, "size": len(_sd_cache),
+        }
+
+
+def sd_cache_clear() -> None:
+    global _sd_hits, _sd_misses
+    with _sd_lock:
+        _sd_cache.clear()
+        _sd_hits = 0
+        _sd_misses = 0
 
 
 def expected_stack_distances(
@@ -36,7 +64,33 @@ def expected_stack_distances(
 
     Returns ``(rds, counts, sds)`` where ``sds[j] = E[SD(rds[j])]``.
     Arrays are sorted by reuse distance; ``sds`` is non-decreasing.
+
+    The curve depends only on the histogram *content*, and different
+    pools (and different hierarchy levels of the same pool) frequently
+    share identical histograms, so results are memoized under a content
+    key — callers receive shared arrays and must treat them as
+    read-only.
     """
+    global _sd_hits, _sd_misses
+    key = (hist.counts.tobytes(), hist.cold, hist.inval)
+    with _sd_lock:
+        cached = _sd_cache.get(key)
+        if cached is not None:
+            _sd_hits += 1
+            _sd_cache.move_to_end(key)
+            return cached
+        _sd_misses += 1
+    result = _compute_stack_distances(hist)
+    with _sd_lock:
+        _sd_cache[key] = result
+        if len(_sd_cache) > _SD_CACHE_MAX:
+            _sd_cache.popitem(last=False)
+    return result
+
+
+def _compute_stack_distances(
+    hist: RDHistogram,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     rds, counts = hist.nonzero()
     if len(rds) == 0:
         return rds, counts, np.zeros(0)

@@ -9,7 +9,11 @@ from repro.branch.entropy_model import (
     predict_miss_rate,
 )
 from repro.branch.predictors import TournamentPredictor
-from repro.profiler.branchprof import DEPTH_GRID, branch_stats
+from repro.profiler.branchprof import (
+    DEPTH_GRID,
+    _branch_stats_reference,
+    branch_stats,
+)
 from repro.profiler.profile import BranchStats
 
 
@@ -220,3 +224,75 @@ class TestModelAgainstPredictor:
         stats = branch_stats(stream(pcs, taken))
         model = predict_miss_rate(stats, CFG)
         assert model == pytest.approx(actual, abs=0.05)
+
+
+class TestBranchStatsEquivalence:
+    """The shared-sort fast path is bit-identical to the per-depth
+    ``np.unique`` reference (the seed implementation, preserved as
+    ``_branch_stats_reference``)."""
+
+    def _assert_identical(self, streams, depths=DEPTH_GRID):
+        fast = branch_stats(streams, depths)
+        ref = _branch_stats_reference(streams, depths)
+        assert fast.n_branches == ref.n_branches
+        assert fast.taken_rate == ref.taken_rate
+        assert fast.n_static == ref.n_static
+        assert fast.contexts == ref.contexts
+        assert set(fast.floors) == set(ref.floors)
+        for depth in ref.floors:
+            # Exact float equality: the fast path must reproduce the
+            # reference's summation order bit for bit.
+            assert fast.floors[depth] == ref.floors[depth], depth
+
+    def test_empty(self):
+        self._assert_identical([])
+
+    def test_single_branch(self):
+        self._assert_identical(stream([5], [1]))
+
+    def test_two_branches(self):
+        self._assert_identical(stream([5, 5], [1, 0]))
+
+    def test_deterministic_pattern(self):
+        taken = np.tile([1, 1, 0, 1], 600)
+        self._assert_identical(stream(np.full(2400, 7), taken))
+
+    def test_alternation(self):
+        self._assert_identical(
+            stream(np.full(1000, 64), np.tile([1, 0], 500))
+        )
+
+    def test_random_many_pcs(self, rng):
+        pcs = rng.integers(0, 64, size=5000) * 16
+        taken = rng.integers(0, 2, size=5000)
+        self._assert_identical(stream(pcs, taken))
+
+    def test_biased_random(self, rng):
+        pcs = rng.integers(0, 8, size=3000) * 16
+        taken = (rng.random(3000) < 0.85).astype(np.int64)
+        self._assert_identical(stream(pcs, taken))
+
+    def test_multiple_pieces(self, rng):
+        pieces = []
+        for _ in range(5):
+            m = int(rng.integers(1, 400))
+            pieces.append((
+                rng.integers(0, 32, size=m) * 16,
+                rng.integers(0, 2, size=m),
+            ))
+        pieces.append((np.zeros(0, dtype=np.int64),) * 2)
+        self._assert_identical(
+            [(np.asarray(p, dtype=np.int64),
+              np.asarray(t, dtype=np.int64)) for p, t in pieces]
+        )
+
+    def test_odd_length_split(self, rng):
+        pcs = rng.integers(0, 16, size=777) * 16
+        taken = rng.integers(0, 2, size=777)
+        self._assert_identical(stream(pcs, taken))
+
+    def test_custom_depths(self, rng):
+        pcs = rng.integers(0, 16, size=1500) * 16
+        taken = rng.integers(0, 2, size=1500)
+        self._assert_identical(stream(pcs, taken), depths=(0, 1, 3, 7))
+        self._assert_identical(stream(pcs, taken), depths=(4,))

@@ -40,6 +40,27 @@ class TestParser:
         assert args.check and args.quick
         assert not build_parser().parse_args(["bench"]).check
 
+    def test_bench_service_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--no-service"]
+        )
+        assert args.no_service
+        assert args.service_output == "BENCH_service.json"
+        args = build_parser().parse_args(
+            ["bench", "--service-output", "/tmp/s.json"]
+        )
+        assert not args.no_service
+        assert args.service_output == "/tmp/s.json"
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "3", "--no-store"]
+        )
+        assert args.port == 0
+        assert args.workers == 3
+        assert args.no_store
+        assert args.host == "127.0.0.1"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -100,6 +121,7 @@ class TestCommands:
         out_file = tmp_path / "BENCH_profiler.json"
         assert main([
             "bench", "--quick", "--scale", "0.2", "-o", str(out_file),
+            "--no-service",
         ]) == 0
         assert "reuse-distance engine" in capsys.readouterr().out
         record = json.loads(out_file.read_text())

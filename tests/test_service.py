@@ -1,0 +1,389 @@
+"""Tests for the serving subsystem (:mod:`repro.service`).
+
+Covers the batching primitives (LRU semantics, single-flight
+collapse, micro-batching), the engine's caching behaviour, and the
+real HTTP stack end to end — including the acceptance properties: a
+stampede of identical requests costs exactly one engine computation,
+and ``/v1/predict`` responses re-rendered through the shared formatter
+are byte-identical to ``python -m repro predict`` output.
+"""
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cli import main
+from repro.service.batching import Coalescer, LRUCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.engine import (
+    PredictionEngine,
+    ServiceRequest,
+    format_compare,
+    format_prediction,
+    resolve_benchmark,
+)
+from repro.service.loadgen import run_loadgen
+from repro.service.server import BackgroundServer
+
+SCALE = 0.25
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now least recent
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-put refreshes
+        cache.put("c", 3)
+        assert "b" not in cache and cache.get("a") == 10
+
+    def test_maxsize_enforced(self):
+        cache = LRUCache(3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_items_snapshot(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.items() == [("a", 1), ("b", 2)]
+
+
+class TestCoalescer:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_single_flight_collapses_identical_requests(self):
+        """32 identical concurrent requests -> exactly one compute."""
+        release = threading.Event()
+        batches = []
+
+        def compute(batch):
+            batches.append(list(batch))
+            release.wait(10)
+            return [("ok", request) for request in batch]
+
+        with ThreadPoolExecutor(2) as executor:
+            coalescer = Coalescer(compute, executor, max_workers=2)
+
+            async def scenario():
+                tasks = [
+                    asyncio.create_task(coalescer.submit("k", i))
+                    for i in range(32)
+                ]
+                await asyncio.sleep(0.05)  # all submissions land
+                release.set()
+                return await asyncio.gather(*tasks)
+
+            results = self._run(scenario())
+        assert len(batches) == 1 and len(batches[0]) == 1
+        assert coalescer.collapsed == 31
+        assert all(r == ("ok", 0) for r in results)
+
+    def test_distinct_requests_batch_together(self):
+        """Requests queued behind a busy worker drain as one batch."""
+        first_started = threading.Event()
+        release = threading.Event()
+        batches = []
+
+        def compute(batch):
+            batches.append(list(batch))
+            if len(batches) == 1:
+                first_started.set()
+                release.wait(10)
+            return [request * 10 for request in batch]
+
+        with ThreadPoolExecutor(1) as executor:
+            coalescer = Coalescer(compute, executor, max_workers=1)
+
+            async def scenario():
+                first = asyncio.create_task(coalescer.submit("a", 1))
+                await asyncio.get_running_loop().run_in_executor(
+                    None, first_started.wait, 10
+                )
+                rest = [
+                    asyncio.create_task(coalescer.submit(k, v))
+                    for k, v in (("b", 2), ("c", 3))
+                ]
+                await asyncio.sleep(0.05)
+                release.set()
+                return await asyncio.gather(first, *rest)
+
+            results = self._run(scenario())
+        assert results == [10, 20, 30]
+        assert batches == [[1], [2, 3]]
+        assert coalescer.batches == 2
+
+    def test_compute_exception_propagates(self):
+        def compute(batch):
+            raise RuntimeError("engine down")
+
+        with ThreadPoolExecutor(1) as executor:
+            coalescer = Coalescer(compute, executor)
+            with pytest.raises(RuntimeError, match="engine down"):
+                self._run(coalescer.submit("k", 1))
+        # The key is released: a retry is not poisoned.
+        assert coalescer.stats()["inflight"] == 0
+
+
+class TestEngine:
+    def test_resolve_benchmark(self):
+        assert resolve_benchmark("rodinia.nn").label == "rodinia.nn"
+        assert resolve_benchmark("nn").suite == "rodinia"
+        assert resolve_benchmark("swaptions").suite == "parsec"
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            resolve_benchmark("gcc")
+        with pytest.raises(ValueError, match="unknown suite"):
+            resolve_benchmark("spec.nn")
+
+    def test_predict_is_memoized(self):
+        engine = PredictionEngine(store=None)
+        first = engine.predict("rodinia.nn", scale=SCALE)
+        second = engine.predict("rodinia.nn", scale=SCALE)
+        assert first is second  # served from the result LRU
+        assert engine.stats.computed["predict"] == 1
+        assert engine.stats.profiles_built == 1
+
+    def test_profile_shared_across_configs(self):
+        engine = PredictionEngine(store=None)
+        engine.predict("rodinia.nn", config="base", scale=SCALE)
+        engine.predict("rodinia.nn", config="smallest", scale=SCALE)
+        assert engine.stats.profiles_built == 1
+        assert engine.stats.predictions_run == 2
+
+    def test_store_round_trip(self, tmp_path):
+        from repro.experiments.store import ProfileStore
+        store = ProfileStore(tmp_path / "store")
+        engine = PredictionEngine(store=store)
+        engine.predict("rodinia.nn", scale=SCALE)
+        assert engine.stats.profiles_built == 1
+        fresh = PredictionEngine(store=store)
+        fresh.predict("rodinia.nn", scale=SCALE)
+        assert fresh.stats.profiles_built == 0
+        assert fresh.stats.profiles_from_store == 1
+
+    def test_sweep_defaults_to_table_iv(self):
+        engine = PredictionEngine(store=None)
+        payload = engine.sweep("rodinia.nn", scale=SCALE)
+        assert payload["configs"] == [
+            "smallest", "small", "base", "big", "biggest",
+        ]
+        assert len(payload["results"]) == 5
+        assert engine.stats.profiles_built == 1
+
+    def test_handle_maps_errors_to_statuses(self):
+        engine = PredictionEngine(store=None)
+        status, payload = engine.handle(
+            ServiceRequest("predict", "gcc")
+        )
+        assert status == 404 and "unknown benchmark" in payload["error"]
+        status, payload = engine.handle(
+            ServiceRequest("predict", "rodinia.nn", config="huge")
+        )
+        assert status == 400
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One shared server+engine for the read-mostly endpoint tests."""
+    engine = PredictionEngine(store=None)
+    with BackgroundServer(engine=engine, workers=2) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    with ServiceClient(port=server.port) as c:
+        yield c
+
+
+class TestHTTPEndpoints:
+    def test_healthz(self, client):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert "engine" in payload and "coalescer" in payload
+
+    def test_predict_bit_identical_to_cli(self, client, capsys):
+        payload = client.predict("rodinia.nn", scale=SCALE)
+        assert main([
+            "predict", "rodinia.nn", "--scale", str(SCALE),
+        ]) == 0
+        cli_text = capsys.readouterr().out
+        assert format_prediction(payload) + "\n" == cli_text
+
+    def test_predict_numbers_match_in_process_engine(self, client):
+        payload = client.predict("rodinia.nn", scale=SCALE)
+        local = PredictionEngine(store=None).predict(
+            "rodinia.nn", scale=SCALE
+        )
+        # Bit-identical across the HTTP/JSON round trip.
+        assert payload == json.loads(json.dumps(local))
+        assert payload["total_cycles"] == local["total_cycles"]
+
+    def test_compare_bit_identical_to_cli(self, client, capsys):
+        payload = client.compare("rodinia.nn", scale=SCALE)
+        assert main([
+            "compare", "rodinia.nn", "--scale", str(SCALE),
+        ]) == 0
+        cli_text = capsys.readouterr().out
+        assert format_compare(payload) + "\n" == cli_text
+
+    def test_sweep_endpoint(self, client):
+        payload = client.sweep(
+            "rodinia.nn", configs=["smallest", "base"], scale=SCALE
+        )
+        assert payload["configs"] == ["smallest", "base"]
+        cycles = [r["total_cycles"] for r in payload["results"]]
+        assert cycles[0] > cycles[1]  # narrower core is slower
+
+    def test_profiles_inventory(self, client):
+        client.predict("rodinia.nn", scale=SCALE)
+        payload = client.profiles()
+        labels = {p["benchmark"] for p in payload["resident"]}
+        assert "rodinia.nn" in labels
+
+    def test_unknown_benchmark_404(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client.predict("gcc", scale=SCALE)
+        assert exc_info.value.status == 404
+
+    def test_bad_config_400(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client.predict("rodinia.nn", config="huge", scale=SCALE)
+        assert exc_info.value.status == 400
+
+    def test_missing_benchmark_400(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client._request("GET", "/v1/predict")
+        assert exc_info.value.status == 400
+
+    @pytest.mark.parametrize("scale", ["inf", "nan", "0", "-1", "1e12"])
+    def test_unsafe_scale_rejected(self, client, scale):
+        """scale drives workload expansion: inf/NaN/huge must 400
+        before reaching an engine worker."""
+        with pytest.raises(ServiceError) as exc_info:
+            client._request(
+                "GET", f"/v1/predict?benchmark=rodinia.nn&scale={scale}"
+            )
+        assert exc_info.value.status == 400
+
+    @pytest.mark.parametrize("cores", ["0", "-4", "1000000"])
+    def test_unsafe_cores_rejected(self, client, cores):
+        with pytest.raises(ServiceError) as exc_info:
+            client._request(
+                "GET", f"/v1/predict?benchmark=rodinia.nn&cores={cores}"
+            )
+        assert exc_info.value.status == 400
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client._request("GET", "/v2/predict")
+        assert exc_info.value.status == 404
+
+    def test_post_json_body(self, client):
+        payload = client._request(
+            "POST", "/v1/predict",
+            body={"benchmark": "rodinia.nn", "scale": SCALE},
+        )
+        assert payload["benchmark"] == "rodinia.nn"
+
+
+class TestConcurrentServing:
+    def test_32_identical_requests_one_computation(self):
+        """The acceptance property: >= 32 simultaneous identical
+        requests collapse to a single engine computation."""
+        engine = PredictionEngine(store=None)
+        n_clients = 32
+        results = []
+        errors = []
+        barrier = threading.Barrier(n_clients)
+
+        def hit(port):
+            try:
+                with ServiceClient(port=port) as c:
+                    barrier.wait(timeout=30)
+                    results.append(
+                        c.predict("rodinia.bfs", scale=SCALE)
+                    )
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        with BackgroundServer(engine=engine, workers=2) as server:
+            threads = [
+                threading.Thread(target=hit, args=(server.port,))
+                for _ in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            with ServiceClient(port=server.port) as probe:
+                health = probe.healthz()
+
+        assert not errors
+        assert len(results) == n_clients
+        assert all(r == results[0] for r in results)
+        # Exactly one engine computation served all 32 requests;
+        # duplicates either collapsed in flight or hit the result LRU.
+        assert health["engine"]["computed"]["predict"] == 1
+        collapsed = health["coalescer"]["collapsed"]
+        engine_requests = health["engine"]["requests"]["predict"]
+        assert collapsed + engine_requests == n_clients
+
+    def test_loadgen_record_schema(self):
+        engine = PredictionEngine(store=None)
+        with BackgroundServer(engine=engine, workers=2) as server:
+            record = run_loadgen(
+                "127.0.0.1", server.port,
+                benchmark="rodinia.nn", scale=SCALE,
+                duration_s=0.4, concurrency=4,
+            )
+        assert record["schema"] == 1
+        assert record["requests"] > 0
+        assert record["errors"] == 0
+        assert record["throughput_rps"] > 0
+        assert 0.0 <= record["cache_hit_rate"] <= 1.0
+        assert record["latency_ms"]["p50"] <= record["latency_ms"]["p99"]
+
+
+class TestServiceBench:
+    def test_quick_bench_writes_record(self, tmp_path):
+        from repro.experiments.bench import (
+            check_service, run_service_bench,
+        )
+        out = tmp_path / "BENCH_service.json"
+        record = run_service_bench(
+            quick=True, output=str(out), duration_s=0.4,
+            concurrency=4, scale=SCALE,
+        )
+        on_disk = json.loads(out.read_text())
+        assert on_disk["mode"] == "quick"
+        assert on_disk["requests"] == record["requests"]
+        # Floors are enforced in CI via `repro bench --quick --check`;
+        # here only the record shape and the error floor.
+        assert not [
+            f for f in check_service(record) if "error rate" in f
+        ]

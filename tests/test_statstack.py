@@ -188,3 +188,53 @@ class TestAgainstExactLRU:
         for cap in (64, 512):
             exact = self._exact_lru_miss_rate(addrs, cap)
             assert miss_rate(h, cap) == pytest.approx(exact, abs=0.08)
+
+
+class TestStackDistanceMemo:
+    """Curves are memoized by histogram content across pool objects."""
+
+    def _hist(self, rng):
+        h = RDHistogram()
+        h.add_many(rng.integers(0, 5000, size=2000))
+        h.add_cold(17)
+        h.add_inval(3)
+        return h
+
+    def test_identical_content_reuses_curve(self, rng):
+        from repro.statstack.statstack import (
+            sd_cache_clear, sd_cache_stats,
+        )
+        sd_cache_clear()
+        a = self._hist(np.random.default_rng(77))
+        b = self._hist(np.random.default_rng(77))
+        assert a is not b and a == b
+        ra = expected_stack_distances(a)
+        rb = expected_stack_distances(b)
+        stats = sd_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        # The very same arrays are shared, not recomputed equals.
+        assert all(x is y for x, y in zip(ra, rb))
+
+    def test_different_content_misses(self, rng):
+        from repro.statstack.statstack import (
+            sd_cache_clear, sd_cache_stats,
+        )
+        sd_cache_clear()
+        a = self._hist(np.random.default_rng(1))
+        b = self._hist(np.random.default_rng(2))
+        expected_stack_distances(a)
+        expected_stack_distances(b)
+        assert sd_cache_stats()["misses"] == 2
+
+    def test_miss_rate_unchanged_by_memo(self, rng):
+        from repro.statstack.statstack import (
+            _compute_stack_distances, sd_cache_clear,
+        )
+        sd_cache_clear()
+        h = self._hist(np.random.default_rng(5))
+        rds, counts, sds = _compute_stack_distances(h)
+        mrds, mcounts, msds = expected_stack_distances(h)
+        assert np.array_equal(rds, mrds)
+        assert np.array_equal(counts, mcounts)
+        assert np.array_equal(sds, msds)
+        assert miss_rate(h, 256) == miss_rate(h, 256)
