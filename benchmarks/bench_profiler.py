@@ -57,6 +57,30 @@ def test_bench_ilp_batch_engine(benchmark, ilp_pools):
     )
 
 
+def test_bench_ilp_megabatch_kernel(benchmark, ilp_pools):
+    """The fused flat-grid path alone (no cache/digest overhead)."""
+    from repro.profiler.ilp_batch import batch_scoreboard_pools
+
+    benchmark.pedantic(
+        batch_scoreboard_pools, args=(ilp_pools,), rounds=5,
+        iterations=1,
+    )
+
+
+def test_bench_ilp_prediction_grid(benchmark, ilp_pools):
+    """The aux=False per-op-latency replay the predictor issues."""
+    from repro.profiler.ilp import hierarchy_ilp
+
+    samples = [s for pool in ilp_pools[:20] for s in pool]
+
+    def run():
+        hierarchy_ilp(
+            samples, 128, (0.3, 0.1, 0.05), (3, 10, 30), 200.0
+        )
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
 def test_bench_ilp_scalar_spec(benchmark, ilp_pools):
     benchmark.pedantic(
         _run_ilp_scalar, args=(ilp_pools,), rounds=2, iterations=1

@@ -194,11 +194,14 @@ def cmd_bench(args) -> int:
         run_service_bench,
     )
     result = run_profiler_bench(
-        quick=args.quick, scale=args.scale, output=args.output
+        quick=args.quick, scale=args.scale, output=args.output,
+        profile_dump=args.profile_dump,
     )
     print(render_bench(result))
     if args.output:
         print(f"wrote {args.output}")
+    if args.profile_dump:
+        print(f"wrote {args.profile_dump}")
     failures = check_bench(result) if args.check else []
     if not args.no_service:
         service = run_service_bench(
@@ -299,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default BENCH_service.json)")
     p.add_argument("--no-service", action="store_true",
                    help="skip the serving-throughput bench")
+    p.add_argument("--profile-dump", metavar="PATH",
+                   help="write a cProfile top-20 of the end-to-end "
+                        "suite profiling loop (CI uploads this so the "
+                        "next hot spot is identified from CI)")
 
     p = sub.add_parser(
         "serve", help="run the prediction service (HTTP/JSON)"

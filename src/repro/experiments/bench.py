@@ -38,7 +38,11 @@ from repro.experiments.suites import (
 from repro.profiler.batch import replay_data, replay_fetch
 from repro.profiler.histogram import RDHistogram
 from repro.profiler.ilp import build_ilp_table
-from repro.profiler.ilp_batch import build_ilp_tables
+from repro.profiler.ilp_batch import (
+    DISPATCHES_PER_STEP,
+    KERNEL_STATS,
+    build_ilp_tables,
+)
 from repro.profiler.locality import PoolLocality
 from repro.profiler.profiler import (
     ILP_SAMPLES_PER_POOL,
@@ -53,19 +57,24 @@ from repro.runtime.chunking import chunk_trace
 from repro.workloads.generator import expand
 from repro.workloads.ir import OP_STORE, fetch_lines
 
-#: 2: adds the ``ilp`` section (batched scoreboard vs scalar spec).
-BENCH_SCHEMA = 2
+#: 3: adds the ``kernel`` section (fused flat-grid mega-batching:
+#: width buckets, fill ratio, per-step dispatch counts, pools/s) and
+#: raises the committed ILP floor to the fused-kernel level.
+#: 2: added the ``ilp`` section (batched scoreboard vs scalar spec).
+BENCH_SCHEMA = 3
 #: Quick-mode subset: three locality personalities plus streamcluster,
 #: whose sparse address space exercises the engine's fallback path.
 QUICK_BENCHMARKS = ("hotspot", "bfs", "srad", "streamcluster")
 
 #: Committed performance/equivalence floors for ``bench --check``.
-#: Conservative relative to measured speedups (collector ~10x, ILP
-#: ~7-15x on a developer-class core) to absorb noisy shared runners.
+#: Conservative relative to measured numbers (collector ~10-14x, fused
+#: ILP ~13-16x, suite ~2.5-3 M instr/s on a developer-class core) to
+#: absorb noisy shared runners.
 CHECK_FLOORS: Dict[str, float] = {
     "collector_speedup": 5.0,
-    "ilp_speedup": 5.0,
-    "ilp_max_rel_err": 1e-9,
+    "ilp_speedup": 9.0,
+    "ilp_max_rel_err": 0.0,
+    "suite_min_ips": 1.0e6,
 }
 
 #: Committed serving floors: warm-cache ``/v1/predict`` throughput
@@ -243,18 +252,56 @@ def _interleaved(fn_a, fn_b, reps: int) -> Tuple[float, float]:
     )
 
 
+def _kernel_delta(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """Fused-kernel counter movement between two snapshots."""
+    delta = {
+        key: after[key] - before[key]
+        for key in (
+            "pools", "samples", "buckets", "batches", "steps",
+            "dispatches", "grid_slots", "occupied_slots",
+        )
+    }
+    delta["bucket_fill"] = (
+        delta["occupied_slots"] / delta["grid_slots"]
+        if delta["grid_slots"] else 1.0
+    )
+    return delta
+
+
+def _write_profile_dump(profiler, path: str) -> None:
+    """Write a cProfile top-20 (cumulative and self time) to ``path``.
+
+    The CI perf-smoke job uploads this artifact so the next profiling
+    hot spot is identified from CI output, not from a local rerun.
+    """
+    import pstats
+
+    with open(path, "w") as fh:
+        stats = pstats.Stats(profiler, stream=fh)
+        stats.sort_stats("cumulative")
+        fh.write("== suite profiling: top 20 by cumulative time ==\n")
+        stats.print_stats(20)
+        fh.write("\n== suite profiling: top 20 by self time ==\n")
+        stats.sort_stats("tottime")
+        stats.print_stats(20)
+
+
 def run_profiler_bench(
     quick: bool = False,
     scale: float = 1.0,
     reps: Optional[int] = None,
     output: Optional[str] = None,
+    profile_dump: Optional[str] = None,
 ) -> Dict:
     """Measure profiling throughput; optionally write the JSON record.
 
     ``quick`` restricts the suite to :data:`QUICK_BENCHMARKS` and
     lowers the repetition count — a smoke-test sized run for CI and
     the ``--quick`` CLI flag.  The full mode replays the entire
-    Rodinia suite (the paper's Table II set).
+    Rodinia suite (the paper's Table II set).  ``profile_dump`` writes
+    a cProfile summary of the end-to-end suite loop to the given path.
     """
     refs = rodinia_suite()
     if quick:
@@ -279,7 +326,9 @@ def run_profiler_bench(
     # The timed suite loop below re-expands on purpose: its wall-clock
     # has always measured expand + profile end to end.
     del traces
+    kernel_before = KERNEL_STATS.snapshot()
     batch_tables = _run_ilp_batch(pools)  # warm-up + equivalence input
+    kernel = _kernel_delta(kernel_before, KERNEL_STATS.snapshot())
     scalar_tables = _run_ilp_scalar(pools)
     ilp_err = _table_rel_err(batch_tables, scalar_tables)
     ilp_batch_s, ilp_scalar_s = _interleaved(
@@ -295,6 +344,19 @@ def run_profiler_bench(
         profile = profile_workload(trace)
         instructions += profile.n_instructions
     suite_s = time.perf_counter() - t0
+
+    if profile_dump:
+        # A *separate* instrumented rerun: cProfile tracing costs
+        # ~20%, which must not contaminate the timed number the
+        # suite_min_ips floor gates.
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for ref in refs:
+            profile_workload(expand(build_workload(ref, scale)))
+        profiler.disable()
+        _write_profile_dump(profiler, profile_dump)
 
     total = accesses + fetches
     result = {
@@ -318,6 +380,14 @@ def run_profiler_bench(
             "scalar_s": ilp_scalar_s,
             "speedup": ilp_scalar_s / ilp_batch_s,
             "max_rel_err": ilp_err,
+        },
+        "kernel": {
+            "buckets": int(kernel["buckets"]),
+            "bucket_fill": kernel["bucket_fill"],
+            "steps": int(kernel["steps"]),
+            "dispatches": int(kernel["dispatches"]),
+            "dispatches_per_step": DISPATCHES_PER_STEP,
+            "pools_per_s": len(pools) / ilp_batch_s,
         },
         "suite": {
             "wall_clock_s": suite_s,
@@ -416,14 +486,26 @@ def check_bench(result: Dict) -> List[str]:
     ilp = result["ilp"]["speedup"]
     if ilp < CHECK_FLOORS["ilp_speedup"]:
         failures.append(
-            f"ILP scoreboard speedup {ilp:.2f}x below committed "
+            f"fused ILP kernel speedup {ilp:.2f}x below committed "
             f"floor {CHECK_FLOORS['ilp_speedup']:.1f}x"
         )
     err = result["ilp"]["max_rel_err"]
     if err > CHECK_FLOORS["ilp_max_rel_err"]:
         failures.append(
-            f"ILP batch/scalar divergence {err:.2e} above tolerance "
-            f"{CHECK_FLOORS['ilp_max_rel_err']:.0e}"
+            f"ILP batch/scalar divergence {err:.2e} breaks the "
+            f"bit-identity contract (max_rel_err must be 0)"
+        )
+    # The suite floor is an absolute throughput: at toy --scale values
+    # fixed per-workload costs dominate and would fail it spuriously,
+    # so it is enforced only at the committed scale (CI runs 1.0).
+    ips = result["suite"]["ips"]
+    if result.get("scale", 1.0) >= 1.0 and ips < CHECK_FLOORS[
+        "suite_min_ips"
+    ]:
+        failures.append(
+            f"suite profiling throughput {ips / 1e6:.2f} M instr/s "
+            f"below committed floor "
+            f"{CHECK_FLOORS['suite_min_ips'] / 1e6:.1f} M instr/s"
         )
     return failures
 
@@ -432,6 +514,7 @@ def render_bench(result: Dict) -> str:
     """Human-readable summary of a bench record."""
     c = result["collector"]
     i = result["ilp"]
+    k = result["kernel"]
     s = result["suite"]
     return "\n".join([
         f"profiler bench ({result['mode']}, scale={result['scale']}, "
@@ -439,10 +522,14 @@ def render_bench(result: Dict) -> str:
         f"  reuse-distance engine: {c['vectorized_aps'] / 1e6:6.2f} M "
         f"accesses/s vectorized vs {c['scalar_aps'] / 1e6:5.2f} M "
         f"scalar  ({c['speedup']:.1f}x)",
-        f"  ILP scoreboard engine: {i['pools']} pools / {i['samples']} "
-        f"samples in {i['batch_s']:.2f}s batched vs "
+        f"  fused ILP kernel     : {i['pools']} pools / {i['samples']} "
+        f"samples in {i['batch_s']:.2f}s fused vs "
         f"{i['scalar_s']:.2f}s scalar  ({i['speedup']:.1f}x, "
         f"max rel err {i['max_rel_err']:.1e})",
+        f"  mega-batching        : {k['buckets']} width buckets, "
+        f"{k['bucket_fill']:.1%} fill, {k['steps']} steps x "
+        f"{k['dispatches_per_step']} dispatches "
+        f"({k['pools_per_s']:.0f} pools/s)",
         f"  suite profiling      : {s['instructions']:,} micro-ops in "
         f"{s['wall_clock_s']:.2f}s ({s['ips'] / 1e6:.2f} M instr/s)",
     ])

@@ -27,9 +27,10 @@ loads (for the explicit MLP model).
 
 The per-op implementations here are the *executable spec* (mirroring
 :mod:`repro.profiler.reference` for the locality engines): the
-profiler runs the lockstep batch engine in
-:mod:`repro.profiler.ilp_batch`, which is tested for equivalence
-against these functions and is an order of magnitude faster.
+profiler runs the fused flat-grid engine in
+:mod:`repro.profiler.ilp_batch`, which is tested for bit-identical
+equivalence against these functions and is more than an order of
+magnitude faster.
 """
 
 from __future__ import annotations

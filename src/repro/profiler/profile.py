@@ -132,6 +132,22 @@ class ILPTable:
         """Interpolated branch backward-slice load count at a window."""
         return self._window_interp(self.branch_loads, window)
 
+    def equals_exact(self, other: "ILPTable") -> bool:
+        """Bit-exact equality on every field.
+
+        The contract between the scalar spec, the fused batch kernel
+        and any mega-batch bucketing is float64 *identity*, not
+        closeness — this is the predicate the equivalence suites and
+        ``bench --check`` pin it with.
+        """
+        return (
+            self.windows == other.windows
+            and self.load_lats == other.load_lats
+            and np.array_equal(self.ilp, other.ilp)
+            and np.array_equal(self.branch_loads, other.branch_loads)
+            and np.array_equal(self.load_par, other.load_par)
+        )
+
     def to_dict(self) -> dict:
         return {
             "windows": list(self.windows),

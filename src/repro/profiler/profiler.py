@@ -19,11 +19,13 @@ hoisted out of the scheduler callback into a single precompute pass
 the callback merely records the chunk interleaving, which the
 whole-trace engine in :mod:`repro.profiler.batch` then processes with
 O(N log N) total array work.  ILP tables are likewise built after the
-replay, for *all* pools at once: the micro-trace samples are stacked
-into one lockstep batch (:func:`repro.profiler.ilp_batch.
-build_ilp_tables`), whose Python-level cost is O(MICROTRACE_LEN)
-regardless of pool, window-grid or latency-grid count, and which can
-memoize per-pool tables across runs via an
+replay, for *all* pools at once: the micro-trace samples are
+mega-batched into one fused flat-grid lockstep advance per width
+bucket (:func:`repro.profiler.ilp_batch.build_ilp_tables` over
+:func:`repro.profiler.ilp_batch.batch_scoreboard_pools`), whose
+Python-level cost is O(MICROTRACE_LEN) per bucket regardless of pool,
+window-grid or latency-grid count, and which can memoize per-pool
+tables across runs via an
 :class:`~repro.profiler.ilp_batch.ILPTableCache`.
 """
 
@@ -297,7 +299,8 @@ def profile_workload(
     for tid in range(n_threads):
         replay_fetch(fetch_schedule[tid], ifetch_hists)
 
-    # One lockstep scoreboard advance covers every pool's samples.
+    # One fused lockstep advance per width bucket covers every pool's
+    # samples (cache hits skip their pools entirely).
     ilp_tables = build_ilp_tables(
         [a.ilp_samples for a in pool_list], cache=ilp_cache
     )

@@ -34,7 +34,7 @@ from repro.core.epoch_model import EpochCostCache
 from repro.core.rppm import PredictionResult, predict
 from repro.experiments.store import ProfileStore, config_fingerprint
 from repro.experiments.suites import BenchmarkRef, build_workload
-from repro.profiler.ilp_batch import ILPTableCache
+from repro.profiler.ilp_batch import ILPTableCache, KERNEL_STATS
 from repro.profiler.profile import WorkloadProfile
 from repro.profiler.profiler import profile_workload
 from repro.service.batching import LRUCache
@@ -347,6 +347,16 @@ class PredictionEngine:
         stats["result_cache"] = self.results.stats()
         stats["profile_cache"] = self._profiles.stats()
         stats["cost_cache"] = self._costs.stats()
+        # Fused ILP kernel observability: mega-batch shape (pools,
+        # width buckets, grid fill) is process-wide; the table-cache
+        # hit ratio is this engine's — together they expose what a
+        # cold-start profile costs and how much the caches absorb.
+        kernel = KERNEL_STATS.snapshot()
+        kernel["table_cache"] = {
+            "hits": self.ilp_cache.hits,
+            "misses": self.ilp_cache.misses,
+        }
+        stats["ilp_kernel"] = kernel
         return stats
 
     # -- batch face (used by the coalescer) ---------------------------------

@@ -317,10 +317,11 @@ class TestProfilerIntegration:
 
 
 class TestBenchCheck:
-    def _record(self, collector=10.0, ilp=8.0, err=0.0):
+    def _record(self, collector=10.0, ilp=16.0, err=0.0, ips=2.5e6):
         return {
             "collector": {"speedup": collector},
             "ilp": {"speedup": ilp, "max_rel_err": err},
+            "suite": {"ips": ips},
         }
 
     def test_all_floors_clear(self):
@@ -329,7 +330,16 @@ class TestBenchCheck:
     def test_each_floor_fires(self):
         assert len(check_bench(self._record(collector=1.0))) == 1
         assert len(check_bench(self._record(ilp=1.0))) == 1
-        assert len(check_bench(self._record(err=1e-3))) == 1
+        assert len(check_bench(self._record(ips=0.2e6))) == 1
+        # Bit-identity: any non-zero divergence fires the check.
+        assert len(check_bench(self._record(err=1e-15))) == 1
         assert len(check_bench(
-            self._record(collector=0.5, ilp=0.5, err=1.0)
-        )) == 3
+            self._record(collector=0.5, ilp=0.5, err=1.0, ips=1.0)
+        )) == 4
+
+    def test_suite_floor_skipped_at_toy_scales(self):
+        # Absolute throughput is only meaningful at the committed
+        # scale; probe runs with --scale 0.3 must not fire it.
+        record = self._record(ips=0.2e6)
+        record["scale"] = 0.3
+        assert check_bench(record) == []

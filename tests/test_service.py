@@ -226,6 +226,19 @@ class TestHTTPEndpoints:
         assert payload["status"] == "ok"
         assert "engine" in payload and "coalescer" in payload
 
+    def test_healthz_exposes_kernel_and_cache_counters(self, client):
+        """Cold-start observability: fused-kernel mega-batch counters
+        and the ILP table-cache hit ratio ride on ``/healthz``."""
+        client.predict("rodinia.nn", scale=SCALE)  # force one profile
+        kernel = client.healthz()["engine"]["ilp_kernel"]
+        for key in ("pools", "samples", "buckets", "batches",
+                    "bucket_fill", "steps", "dispatches"):
+            assert key in kernel
+        assert kernel["pools"] >= 1
+        assert 0.0 < kernel["bucket_fill"] <= 1.0
+        cache = kernel["table_cache"]
+        assert cache["hits"] >= 0 and cache["misses"] >= 1
+
     def test_predict_bit_identical_to_cli(self, client, capsys):
         payload = client.predict("rodinia.nn", scale=SCALE)
         assert main([
