@@ -87,6 +87,45 @@ def test_bench_ilp_scalar_spec(benchmark, ilp_pools):
     )
 
 
+def test_bench_expand_engine_cold(benchmark):
+    """Columnar arena engine, fresh memo each round (worst case)."""
+    from repro.experiments.suites import build_workload
+    from repro.workloads.engine import EngineStats, ExpansionEngine
+
+    specs = [build_workload(ref, 1.0) for ref in rodinia_suite()]
+    benchmark.pedantic(
+        lambda: ExpansionEngine(stats=EngineStats()).expand_many(specs),
+        rounds=5, iterations=1,
+    )
+
+
+def test_bench_expand_trace_cache_warm(benchmark):
+    """Content-addressed warm path every production call site runs."""
+    from repro.experiments.store import TraceCache
+    from repro.experiments.suites import build_workload
+
+    specs = [build_workload(ref, 1.0) for ref in rodinia_suite()]
+    cache = TraceCache()
+    for spec in specs:
+        cache.get(spec)
+    benchmark.pedantic(
+        lambda: [cache.get(spec) for spec in specs],
+        rounds=5, iterations=1,
+    )
+
+
+def test_bench_expand_legacy_spec(benchmark):
+    """The preserved per-segment generator spec."""
+    from repro.experiments.suites import build_workload
+    from repro.workloads.generator import expand
+
+    specs = [build_workload(ref, 1.0) for ref in rodinia_suite()]
+    benchmark.pedantic(
+        lambda: [expand(spec) for spec in specs],
+        rounds=2, iterations=1,
+    )
+
+
 def test_bench_speedup_record(tmp_path, report):
     """Full-suite record: asserts both engines' advantage and feeds
     the session report."""

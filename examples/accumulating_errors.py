@@ -24,7 +24,7 @@ from repro.experiments.accumulation import (
 )
 from repro.runtime.scheduler import run_schedule
 from repro.simulator.multicore import simulate
-from repro.workloads.generator import expand
+from repro.workloads.engine import expand
 from repro.workloads.microbench import barrier_loop_workload
 
 

@@ -12,7 +12,7 @@ Run:  python examples/bottlegraph_analysis.py
 from repro import bottlegraph_from_timeline, predict, profile_workload, simulate
 from repro.arch.presets import table_iv_config
 from repro.experiments.bottlegraphs import render_bottlegraph
-from repro.workloads.generator import expand
+from repro.workloads.engine import expand
 from repro.workloads.parsec import BALANCE_CLASS, parsec_workload
 
 #: One representative per Figure 6 balance group.

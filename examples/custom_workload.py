@@ -15,7 +15,7 @@ from repro import predict, profile_workload, simulate
 from repro.arch.presets import table_iv_config
 from repro.workloads import kernels as k
 from repro.workloads.builder import WorkloadBuilder
-from repro.workloads.generator import expand
+from repro.workloads.engine import expand
 from repro.workloads.spec import BranchSpec, EpochSpec
 
 

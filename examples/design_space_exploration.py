@@ -15,7 +15,7 @@ import time
 
 from repro import predict, profile_workload, simulate
 from repro.arch.presets import design_space
-from repro.workloads.generator import expand
+from repro.workloads.engine import expand
 from repro.workloads.rodinia import RODINIA, rodinia_workload
 
 

@@ -15,7 +15,7 @@ Run:  python examples/quickstart.py
 
 from repro import predict, profile_workload, simulate
 from repro.arch.presets import table_iv_config
-from repro.workloads.generator import expand
+from repro.workloads.engine import expand
 from repro.workloads.rodinia import rodinia_workload
 
 

@@ -21,6 +21,9 @@ Commands mirror the paper's workflow (Fig. 1):
 * ``serve``    — run the prediction service (asyncio HTTP/JSON, see
   :mod:`repro.service`): ``/v1/predict``, ``/v1/compare``,
   ``/v1/sweep``, ``/v1/profiles``, ``/healthz``.
+* ``store``    — inspect (``stats``) or garbage-collect (``prune``)
+  the on-disk artifact store, including the content-addressed
+  ``traces`` kind the trace cache persists.
 * ``list``     — list benchmarks and design points.
 
 ``predict`` and ``compare`` render through the same payload builders
@@ -50,7 +53,6 @@ from repro.service.engine import (
     resolve_benchmark,
 )
 from repro.simulator.multicore import simulate
-from repro.workloads.generator import expand
 from repro.workloads.parsec import PARSEC
 from repro.workloads.rodinia import RODINIA
 
@@ -114,7 +116,7 @@ def cmd_predict(args) -> int:
 def cmd_simulate(args) -> int:
     spec = _build_workload(args.benchmark, args.scale)
     config = table_iv_config(args.config, cores=args.cores)
-    result = simulate(expand(spec), config)
+    result = simulate(spec, config)
     seconds = config.cycles_to_seconds(result.total_cycles)
     stack = "  ".join(
         f"{name}={value:.3f}"
@@ -221,6 +223,53 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_store(args) -> int:
+    from repro.experiments.store import ProfileStore
+
+    store = ProfileStore(args.root) if args.root else ProfileStore()
+    if args.store_command == "stats":
+        stats = store.stats()
+        print(f"store root: {store.root}")
+        if not stats:
+            print("  (empty)")
+            return 0
+        total_n = total_b = 0
+        for kind, entry in stats.items():
+            print(f"  {kind:<12s} {entry['artifacts']:6d} artifacts  "
+                  f"{entry['bytes'] / 2**20:8.1f} MiB")
+            total_n += entry["artifacts"]
+            total_b += entry["bytes"]
+        print(f"  {'total':<12s} {total_n:6d} artifacts  "
+              f"{total_b / 2**20:8.1f} MiB")
+        return 0
+    # prune: refuse to silently wipe the whole store — require either
+    # a narrowing filter or the explicit --all.
+    if not (args.kind or args.older_than or args.stale_only or args.all):
+        raise SystemExit(
+            "store prune: pass --kind/--older-than/--stale-only to "
+            "narrow the sweep, or --all to remove everything"
+        )
+    removed = store.prune(
+        kinds=args.kind or None,
+        older_than_s=(
+            args.older_than * 86400.0
+            if args.older_than is not None else None
+        ),
+        stale_only=args.stale_only,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    total_n = total_b = 0
+    for kind, entry in removed.items():
+        print(f"  {kind:<12s} {verb} {entry['removed']:6d} artifacts  "
+              f"{entry['bytes'] / 2**20:8.1f} MiB")
+        total_n += entry["removed"]
+        total_b += entry["bytes"]
+    print(f"  {'total':<12s} {verb} {total_n:6d} artifacts  "
+          f"{total_b / 2**20:8.1f} MiB")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.service.engine import default_store
     from repro.service.server import PredictionService
@@ -308,6 +357,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "next hot spot is identified from CI)")
 
     p = sub.add_parser(
+        "store",
+        help="inspect / garbage-collect the on-disk artifact store",
+    )
+    ssub = p.add_subparsers(dest="store_command", required=True)
+    sp = ssub.add_parser(
+        "stats", help="per-kind artifact counts and byte totals"
+    )
+    sp.add_argument("--root", help="store root "
+                    "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    sp = ssub.add_parser(
+        "prune", help="remove artifacts (traces, profiles, ...)"
+    )
+    sp.add_argument("--root", help="store root "
+                    "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    sp.add_argument("--kind", action="append", metavar="KIND",
+                    help="restrict to one artifact kind (repeatable), "
+                         "e.g. traces")
+    sp.add_argument("--older-than", type=float, metavar="DAYS",
+                    help="only artifacts older than DAYS days")
+    sp.add_argument("--stale-only", action="store_true",
+                    help="only artifacts with a stale or unreadable "
+                         "schema (already treated as misses)")
+    sp.add_argument("--all", action="store_true",
+                    help="allow an unfiltered sweep of the whole store")
+    sp.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed, remove nothing")
+
+    p = sub.add_parser(
         "serve", help="run the prediction service (HTTP/JSON)"
     )
     p.add_argument("--host", default="127.0.0.1",
@@ -335,6 +412,7 @@ def main(argv: Optional[list] = None) -> int:
         "compare": cmd_compare,
         "report": cmd_report,
         "bench": cmd_bench,
+        "store": cmd_store,
         "serve": cmd_serve,
     }
     return handlers[args.command](args)

@@ -16,9 +16,10 @@ from typing import Dict, List, Optional, Sequence
 from repro.arch.config import MulticoreConfig
 from repro.arch.presets import table_iv_config
 from repro.core.rppm import predict
+from repro.experiments.store import TraceCache
 from repro.profiler.profiler import profile_workload
 from repro.simulator.multicore import simulate
-from repro.workloads.generator import expand
+from repro.workloads.engine import expand as engine_expand
 from repro.workloads.rodinia import RODINIA, rodinia_workload
 
 #: Default thread counts (the base machine has four cores).
@@ -71,6 +72,7 @@ def run_scaling_curve(
     thread_counts: Sequence[int] = THREAD_COUNTS,
     config: Optional[MulticoreConfig] = None,
     scale: float = 1.0,
+    trace_cache: Optional[TraceCache] = None,
 ) -> ScalingCurve:
     """Predicted and simulated scaling of one Rodinia benchmark.
 
@@ -93,7 +95,15 @@ def run_scaling_curve(
             benchmark, threads=threads,
             scale=scale * reference / threads,
         )
-        trace = expand(spec)
+        # Each point's trace is shared between profiling and
+        # simulation via the local below and freed when it rebinds; a
+        # caller-supplied TraceCache additionally shares points across
+        # sweeps (and, store-backed, across runs) at the cost of
+        # retaining them in its LRU.
+        if trace_cache is not None:
+            trace = trace_cache.get(spec)
+        else:
+            trace = engine_expand(spec)
         profile = profile_workload(trace)
         points.append(
             ScalingPoint(

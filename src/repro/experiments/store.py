@@ -11,8 +11,9 @@ Layout: ``<root>/<kind>/<key>.<ext>`` where ``kind`` is ``profiles``
 (JSON via ``WorkloadProfile.to_dict``), ``ilptables`` (JSON via
 ``ILPTable.to_dict``, content-addressed by micro-trace sample digest —
 the profiling grid is configuration-independent, so one table serves
-every design-space point), ``predictions`` or ``simulations`` (pickled
-result dataclasses).  Every artifact embeds ``SCHEMA_VERSION``;
+every design-space point), ``traces`` (pickled columnar arenas,
+content-addressed by the full workload spec — see :class:`TraceCache`),
+``predictions`` or ``simulations`` (pickled result dataclasses).  Every artifact embeds ``SCHEMA_VERSION``;
 stale-version, truncated or otherwise corrupt files are treated as
 misses, so a cache survives arbitrary upgrades by silently
 recomputing.
@@ -30,11 +31,22 @@ import json
 import os
 import pickle
 import tempfile
+import threading
+import time
+from collections import OrderedDict
 from enum import Enum
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 from repro.profiler.profile import ILPTable, WorkloadProfile
+from repro.workloads.engine import (
+    ExpansionEngine,
+    default_engine,
+    pack_trace,
+    unpack_trace,
+)
+from repro.workloads.ir import WorkloadTrace
+from repro.workloads.spec import WorkloadSpec
 
 #: Bump when any persisted artifact's layout or producing algorithm
 #: changes incompatibly; old entries then read as cache misses.
@@ -139,6 +151,21 @@ class ProfileStore:
             "config": _canonical(config),
         })
 
+    @staticmethod
+    def trace_key(spec: WorkloadSpec) -> str:
+        """Content address of an expanded trace: the full spec.
+
+        Expansion is a pure function of the spec (seed included), so
+        fingerprinting the canonicalized spec structure — every epoch,
+        memory pattern, branch spec and sync event — is exactly the
+        identity under which a persisted trace may be reused.
+        """
+        return fingerprint({
+            "kind": "trace",
+            "schema": SCHEMA_VERSION,
+            "spec": _canonical(spec),
+        })
+
     # -- plumbing -----------------------------------------------------------
 
     def _path(self, kind: str, key: str, ext: str) -> Path:
@@ -225,6 +252,36 @@ class ProfileStore:
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
+    # -- traces (pickle, columnar, content-addressed) -----------------------
+
+    def save_trace(self, key: str, trace: WorkloadTrace) -> Path:
+        path = self._path("traces", key, "pkl")
+        payload = pickle.dumps({
+            "schema": SCHEMA_VERSION,
+            "digest": trace.content_digest(),
+            "trace": pack_trace(trace),
+        })
+        self._write(path, payload)
+        return path
+
+    def load_trace(self, key: str) -> Optional[WorkloadTrace]:
+        path = self._path("traces", key, "pkl")
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("schema") != SCHEMA_VERSION:
+                return None
+            trace = unpack_trace(payload["trace"])
+            trace.validate()
+            # Structural validation cannot see array corruption; the
+            # embedded digest can.  A mismatch (bit rot, truncated
+            # copy of the cache dir) reads as a miss and re-expands.
+            if trace.content_digest() != payload.get("digest"):
+                return None
+            return trace
+        except Exception:
+            return None
+
     # -- predictions / simulations (pickle) ---------------------------------
 
     def save_result(self, kind: str, key: str, result: Any) -> Path:
@@ -245,3 +302,223 @@ class ProfileStore:
             return payload["result"]
         except Exception:
             return None
+
+    # -- inventory / garbage collection -------------------------------------
+
+    def _artifacts(self, kind: str) -> list:
+        try:
+            return sorted(
+                p for p in (self.root / kind).iterdir()
+                if p.suffix in (".json", ".pkl")
+            )
+        except OSError:
+            return []
+
+    def kinds(self) -> list:
+        """Artifact kinds present under the store root."""
+        try:
+            return sorted(
+                d.name for d in self.root.iterdir() if d.is_dir()
+            )
+        except OSError:
+            return []
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind artifact counts and byte totals (best effort)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for kind in self.kinds():
+            count = 0
+            nbytes = 0
+            for path in self._artifacts(kind):
+                try:
+                    nbytes += path.stat().st_size
+                except OSError:
+                    continue
+                count += 1
+            out[kind] = {"artifacts": count, "bytes": nbytes}
+        return out
+
+    def _artifact_schema(self, path: Path) -> Optional[int]:
+        """Embedded schema of one artifact; None when unreadable."""
+        try:
+            with open(path, "rb") as fh:
+                if path.suffix == ".json":
+                    payload = json.load(fh)
+                else:
+                    payload = pickle.load(fh)
+            schema = payload.get("schema")
+            return schema if isinstance(schema, int) else None
+        except Exception:
+            return None
+
+    def prune(
+        self,
+        kinds: Optional[list] = None,
+        older_than_s: Optional[float] = None,
+        stale_only: bool = False,
+        dry_run: bool = False,
+    ) -> Dict[str, Dict[str, int]]:
+        """Garbage-collect artifacts; returns per-kind removal stats.
+
+        ``kinds`` restricts the sweep (default: every kind present).
+        ``older_than_s`` keeps artifacts younger than the cutoff;
+        ``stale_only`` removes only artifacts whose embedded schema is
+        not the current :data:`SCHEMA_VERSION` (or that cannot be read
+        at all) — the entries every load already treats as misses.
+        ``dry_run`` reports what would be removed without unlinking.
+        """
+        now = time.time()
+        out: Dict[str, Dict[str, int]] = {}
+        for kind in kinds if kinds is not None else self.kinds():
+            removed = 0
+            nbytes = 0
+            for path in self._artifacts(kind):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                if older_than_s is not None and (
+                    now - st.st_mtime
+                ) < older_than_s:
+                    continue
+                if stale_only and self._artifact_schema(
+                    path
+                ) == SCHEMA_VERSION:
+                    continue
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                removed += 1
+                nbytes += st.st_size
+            out[kind] = {"removed": removed, "bytes": nbytes}
+        return out
+
+
+class TraceCache:
+    """Content-addressed, byte-bounded LRU over expanded traces.
+
+    The trace analogue of the ILP table cache: resolution is
+    in-process LRU -> on-disk ``"traces"`` store kind -> the columnar
+    expansion engine (:mod:`repro.workloads.engine`), with
+    write-through persistence for engine-expanded traces when a store
+    is attached.  Keys are :meth:`ProfileStore.trace_key` fingerprints
+    of the full workload spec, so every layer — the profiler, the
+    bench harness, the experiment pipeline, the simulator and the
+    serving engine — agrees on trace identity and re-pays expansion at
+    most once per distinct ``(spec, seed, scale)`` per process (and,
+    with a store, per machine).
+
+    Thread-safe.  Concurrent misses on the same key may expand twice;
+    both expansions are bit-identical, so last-writer-wins is sound.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ProfileStore] = None,
+        max_bytes: int = 512 << 20,
+        max_traces: int = 64,
+        max_persist_bytes: int = 64 << 20,
+        engine: Optional[ExpansionEngine] = None,
+    ) -> None:
+        self.store = store
+        self.engine = engine if engine is not None else default_engine()
+        self.max_bytes = max_bytes
+        self.max_traces = max_traces
+        #: Traces larger than this stay in memory only — a guard
+        #: against unbounded store growth from huge one-off scales
+        #: (``repro store prune`` reclaims what does get persisted).
+        self.max_persist_bytes = max_persist_bytes
+        self._data: "OrderedDict[str, WorkloadTrace]" = OrderedDict()
+        self._nbytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.store_hits = 0
+        self.store_saves = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(spec: WorkloadSpec) -> str:
+        """Content address of ``spec``, memoized on the spec object.
+
+        Canonicalizing a suite-sized spec (hundreds of nested segment
+        plans) costs milliseconds — more than a warm cache hit — so
+        the fingerprint is computed once per spec object.  Specs are
+        treated as immutable everywhere once built; mutating one after
+        its first cache lookup would poison its content address.
+        """
+        key = getattr(spec, "_trace_key", None)
+        if key is None:
+            key = ProfileStore.trace_key(spec)
+            try:
+                spec._trace_key = key
+            except AttributeError:  # exotic spec types without __dict__
+                pass
+        return key
+
+    def get(self, spec: WorkloadSpec) -> WorkloadTrace:
+        """The expanded trace of ``spec`` (LRU -> store -> engine)."""
+        key = self.key(spec)
+        with self._lock:
+            trace = self._data.get(key)
+            if trace is not None:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return trace
+            self.misses += 1
+        trace = None
+        if self.store is not None:
+            trace = self.store.load_trace(key)
+        if trace is not None:
+            with self._lock:
+                self.store_hits += 1
+        else:
+            trace = self.engine.expand(spec)
+            if (
+                self.store is not None
+                and trace.nbytes <= self.max_persist_bytes
+            ):
+                self.store.save_trace(key, trace)
+                with self._lock:
+                    self.store_saves += 1
+        self._put(key, trace)
+        return trace
+
+    def _put(self, key: str, trace: WorkloadTrace) -> None:
+        with self._lock:
+            old = self._data.pop(key, None)
+            if old is not None:
+                self._nbytes -= old.nbytes
+            self._data[key] = trace
+            self._nbytes += trace.nbytes
+            while self._data and (
+                len(self._data) > self.max_traces
+                or self._nbytes > self.max_bytes
+            ):
+                _, evicted = self._data.popitem(last=False)
+                self._nbytes -= evicted.nbytes
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._nbytes
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "store_hits": self.store_hits,
+                "store_saves": self.store_saves,
+                "evictions": self.evictions,
+                "traces": len(self._data),
+                "bytes": self._nbytes,
+                "max_bytes": self.max_bytes,
+            }

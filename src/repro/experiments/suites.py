@@ -27,16 +27,16 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.config import MulticoreConfig
 from repro.core.rppm import PredictionResult, predict
-from repro.experiments.store import ProfileStore
+from repro.experiments.store import ProfileStore, TraceCache
 from repro.profiler.ilp_batch import ILPTableCache
 from repro.profiler.profile import WorkloadProfile
 from repro.profiler.profiler import profile_workload
 from repro.simulator.multicore import simulate
 from repro.simulator.results import SimulationResult
-from repro.workloads.generator import expand
 from repro.workloads.ir import WorkloadTrace
 from repro.workloads.parsec import PARSEC, parsec_workload
 from repro.workloads.rodinia import RODINIA, rodinia_workload
+from repro.workloads.spec import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -154,8 +154,12 @@ class RunCache:
         #: content-addressed memo serves the whole design space (and,
         #: with a store, every later run).
         self.ilp_cache = ILPTableCache(store)
-        self._traces: Dict[str, WorkloadTrace] = {}
-        self._seeds: Dict[str, int] = {}
+        #: Expanded traces, content-addressed by the full spec and
+        #: shared with the store's ``"traces"`` kind: profiling and
+        #: simulating a benchmark pays expansion once per process —
+        #: and, with a store, once per machine.
+        self.traces = TraceCache(store=store)
+        self._specs: Dict[str, WorkloadSpec] = {}
         self._profiles: Dict[str, WorkloadProfile] = {}
         self._predictions: Dict[
             Tuple[str, MulticoreConfig], PredictionResult
@@ -166,15 +170,18 @@ class RunCache:
 
     # -- store keys ---------------------------------------------------------
 
-    def _seed(self, ref: BenchmarkRef) -> int:
+    def _spec(self, ref: BenchmarkRef) -> WorkloadSpec:
         # A pure function of (suite, name, scale) — memoized, since
-        # every store-key computation needs it and building the spec
-        # is not free.
-        seed = self._seeds.get(ref.label)
-        if seed is None:
-            seed = int(build_workload(ref, self.scale).seed)
-            self._seeds[ref.label] = seed
-        return seed
+        # every store-key computation and trace lookup needs it and
+        # building the spec is not free.
+        spec = self._specs.get(ref.label)
+        if spec is None:
+            spec = build_workload(ref, self.scale)
+            self._specs[ref.label] = spec
+        return spec
+
+    def _seed(self, ref: BenchmarkRef) -> int:
+        return int(self._spec(ref).seed)
 
     def _profile_key(self, ref: BenchmarkRef) -> str:
         return ProfileStore.profile_key(
@@ -191,11 +198,7 @@ class RunCache:
     # -- artifacts ----------------------------------------------------------
 
     def trace(self, ref: BenchmarkRef) -> WorkloadTrace:
-        if ref.label not in self._traces:
-            self._traces[ref.label] = expand(
-                build_workload(ref, self.scale)
-            )
-        return self._traces[ref.label]
+        return self.traces.get(self._spec(ref))
 
     def profile(self, ref: BenchmarkRef) -> WorkloadProfile:
         if ref.label not in self._profiles:

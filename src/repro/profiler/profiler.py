@@ -51,7 +51,7 @@ from repro.profiler.profile import (
 )
 from repro.runtime.chunking import chunk_trace
 from repro.runtime.scheduler import run_schedule
-from repro.workloads.generator import expand
+from repro.workloads.engine import expand
 from repro.workloads.ir import (
     OP_BRANCH,
     OP_CLASSES,
@@ -208,6 +208,7 @@ def profile_workload(
     workload: Union[WorkloadSpec, WorkloadTrace],
     chunk: int = 4096,
     ilp_cache: Optional[ILPTableCache] = None,
+    trace_cache=None,
 ) -> WorkloadProfile:
     """Profile a workload once, for use across all target configurations.
 
@@ -224,8 +225,19 @@ def profile_workload(
         pools whose micro-trace samples were profiled before (in this
         process or, with a store-backed cache, any previous run) skip
         the scoreboard replay.
+    trace_cache:
+        Optional :class:`~repro.experiments.store.TraceCache` a spec
+        ``workload`` is expanded through, so re-profiling the same
+        spec (or profiling after simulating it) reuses one expansion.
+        Without it, specs expand through the shared columnar engine.
     """
-    trace = expand(workload) if isinstance(workload, WorkloadSpec) else workload
+    if isinstance(workload, WorkloadSpec):
+        trace = (
+            trace_cache.get(workload) if trace_cache is not None
+            else expand(workload)
+        )
+    else:
+        trace = workload
     ctrace = chunk_trace(trace, chunk)
     n_threads = ctrace.n_threads
 

@@ -10,6 +10,11 @@ artifacts resident across requests:
   process agree on identity;
 * per-pool ILP tables via the content-addressed
   :class:`~repro.profiler.ilp_batch.ILPTableCache`;
+* expanded traces via the content-addressed
+  :class:`~repro.experiments.store.TraceCache` (engine-resident LRU
+  over the store's ``"traces"`` kind), so a cold compare pays trace
+  expansion once across profile and simulation and a repeat pays
+  none;
 * per-(profile, config) :class:`~repro.core.epoch_model.EpochCostCache`
   memos, so repeat predictions skip every Eq.-1 evaluation;
 * finished response payloads, keyed by the full request tuple.
@@ -32,14 +37,18 @@ from repro.arch.config import MulticoreConfig
 from repro.arch.presets import TABLE_IV, table_iv_config
 from repro.core.epoch_model import EpochCostCache
 from repro.core.rppm import PredictionResult, predict
-from repro.experiments.store import ProfileStore, config_fingerprint
+from repro.experiments.store import (
+    ProfileStore,
+    TraceCache,
+    config_fingerprint,
+)
 from repro.experiments.suites import BenchmarkRef, build_workload
 from repro.profiler.ilp_batch import ILPTableCache, KERNEL_STATS
 from repro.profiler.profile import WorkloadProfile
 from repro.profiler.profiler import profile_workload
 from repro.service.batching import LRUCache
 from repro.simulator.multicore import simulate
-from repro.workloads.generator import expand
+from repro.workloads.engine import ENGINE_STATS
 from repro.workloads.parsec import PARSEC
 from repro.workloads.rodinia import RODINIA
 
@@ -129,10 +138,16 @@ class PredictionEngine:
         max_profiles: int = 32,
         max_cost_caches: int = 128,
         max_results: int = 4096,
+        max_trace_bytes: int = 256 << 20,
     ) -> None:
         self.store = store
         self.chunk = chunk
         self.ilp_cache = ILPTableCache(store)
+        #: Engine-resident expanded traces, content-addressed by the
+        #: full workload spec (store-backed ``"traces"`` kind when a
+        #: store is attached).  A cold ``/v1/compare`` pays expansion
+        #: once for profile + simulation; repeats pay zero.
+        self.traces = TraceCache(store=store, max_bytes=max_trace_bytes)
         #: profile store key -> (label, WorkloadProfile)
         self._profiles = LRUCache(max_profiles)
         #: (profile key, config fingerprint) -> EpochCostCache
@@ -169,6 +184,10 @@ class PredictionEngine:
             seed = int(self._spec(ref, scale).seed)
         return seed
 
+    def _trace(self, ref: BenchmarkRef, scale: float):
+        """Expanded trace via the engine-resident content-addressed LRU."""
+        return self.traces.get(self._spec(ref, scale))
+
     def profile_key(self, ref: BenchmarkRef, scale: float) -> str:
         return ProfileStore.profile_key(
             ref.label, self._seed(ref, scale), scale, self.chunk
@@ -189,7 +208,7 @@ class PredictionEngine:
                 self._bump("profiles_from_store")
         if profile is None:
             profile = profile_workload(
-                expand(self._spec(ref, scale)),
+                self._trace(ref, scale),
                 chunk=self.chunk,
                 ilp_cache=self.ilp_cache,
             )
@@ -274,7 +293,7 @@ class PredictionEngine:
             profile, cfg, cache=self._cost_cache(pkey, profile, cfg)
         )
         self._bump("predictions_run")
-        sim = simulate(expand(self._spec(ref, scale)), cfg)
+        sim = simulate(self._trace(ref, scale), cfg)
         self._bump("simulations_run")
         self._count("computed", "compare")
         payload = compare_payload(pred, sim, cfg)
@@ -329,6 +348,7 @@ class PredictionEngine:
                 "root": str(self.store.root),
                 "profiles": len(self.store.list_keys("profiles")),
                 "ilptables": len(self.store.list_keys("ilptables")),
+                "traces": len(self.store.list_keys("traces")),
             }
         return payload
 
@@ -347,6 +367,13 @@ class PredictionEngine:
         stats["result_cache"] = self.results.stats()
         stats["profile_cache"] = self._profiles.stats()
         stats["cost_cache"] = self._costs.stats()
+        # Trace-arena observability: the engine-resident trace LRU
+        # (hits/misses/bytes, store traffic) plus the process-wide
+        # columnar expansion engine's memo and arena counters —
+        # together they expose what trace expansion costs a cold
+        # request and how much the caches absorb.
+        stats["trace_cache"] = self.traces.stats()
+        stats["expand_engine"] = ENGINE_STATS.snapshot()
         # Fused ILP kernel observability: mega-batch shape (pools,
         # width buckets, grid fill) is process-wide; the table-cache
         # hit ratio is this engine's — together they expose what a

@@ -22,7 +22,7 @@ from repro.runtime.scheduler import run_schedule
 from repro.simulator.caches import MemorySystem
 from repro.simulator.core import CoreSim
 from repro.simulator.results import SimulationResult, ThreadResult
-from repro.workloads.generator import expand
+from repro.workloads.engine import expand
 from repro.workloads.ir import WorkloadTrace
 from repro.workloads.spec import WorkloadSpec
 
@@ -37,11 +37,15 @@ class MulticoreSimulator:
         self,
         workload: Union[WorkloadSpec, WorkloadTrace],
         chunk: int = 4096,
+        trace_cache=None,
     ) -> SimulationResult:
-        trace = (
-            expand(workload) if isinstance(workload, WorkloadSpec)
-            else workload
-        )
+        if isinstance(workload, WorkloadSpec):
+            trace = (
+                trace_cache.get(workload) if trace_cache is not None
+                else expand(workload)
+            )
+        else:
+            trace = workload
         ctrace = chunk_trace(trace, chunk)
         config = self.config
         n_threads = ctrace.n_threads
@@ -117,6 +121,15 @@ def simulate(
     workload: Union[WorkloadSpec, WorkloadTrace],
     config: MulticoreConfig,
     chunk: int = 4096,
+    trace_cache=None,
 ) -> SimulationResult:
-    """Simulate ``workload`` on ``config`` (convenience wrapper)."""
-    return MulticoreSimulator(config).run(workload, chunk=chunk)
+    """Simulate ``workload`` on ``config`` (convenience wrapper).
+
+    A spec ``workload`` expands through ``trace_cache`` (a
+    :class:`~repro.experiments.store.TraceCache`) when one is given —
+    so simulating after profiling the same spec reuses one expansion —
+    and through the shared columnar engine otherwise.
+    """
+    return MulticoreSimulator(config).run(
+        workload, chunk=chunk, trace_cache=trace_cache
+    )

@@ -32,6 +32,11 @@ from repro.workloads.spec import (
     WorkloadSpec,
 )
 from repro.workloads.generator import expand
+from repro.workloads.engine import (
+    ExpansionEngine,
+    default_engine,
+    expand_many,
+)
 from repro.workloads.builder import WorkloadBuilder
 from repro.workloads.rodinia import RODINIA, rodinia_workload
 from repro.workloads.parsec import PARSEC, parsec_workload
@@ -56,7 +61,10 @@ __all__ = [
     "MemPattern",
     "WorkloadSpec",
     "WorkloadBuilder",
+    "ExpansionEngine",
+    "default_engine",
     "expand",
+    "expand_many",
     "RODINIA",
     "PARSEC",
     "rodinia_workload",

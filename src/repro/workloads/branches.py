@@ -14,12 +14,32 @@ import numpy as np
 from repro.workloads.spec import BranchSpec
 
 
+def hidden_pattern(
+    spec: BranchSpec, pattern_rng: np.random.Generator
+) -> np.ndarray:
+    """Draw the hidden repeating bit-pattern of a ``periodic`` spec.
+
+    Part of the *static* workload: every dynamic execution of the same
+    code region carries the same pattern, so the expansion engine
+    memoizes this per code region instead of re-drawing it per segment.
+    """
+    pattern = pattern_rng.integers(0, 2, size=spec.period).astype(
+        np.uint8
+    )
+    if pattern.min() == pattern.max():
+        # Degenerate constant patterns carry no periodic signal;
+        # force at least one transition so the kind behaves as named.
+        pattern[0] ^= 1
+    return pattern
+
+
 def outcomes(
     spec: BranchSpec,
     n: int,
     rng: np.random.Generator,
     start_offset: int = 0,
     pattern_rng: np.random.Generator = None,
+    pattern: np.ndarray = None,
 ) -> np.ndarray:
     """Generate ``n`` branch outcomes (uint8, 1 = taken).
 
@@ -27,7 +47,11 @@ def outcomes(
     epoch is expanded in several blocks.  ``pattern_rng`` draws the
     *hidden pattern* of the ``periodic`` kind; callers pass a stable
     per-code-region generator so every dynamic execution of the same
-    static code carries the same pattern (defaults to ``rng``).
+    static code carries the same pattern (defaults to ``rng``).  A
+    pre-drawn ``pattern`` (from :func:`hidden_pattern`) takes
+    precedence over ``pattern_rng`` — the expansion engine's memoized
+    path, bit-identical because only the pattern draw moves, never the
+    dynamic ``rng`` draws.
     """
     if n == 0:
         return np.zeros(0, dtype=np.uint8)
@@ -40,15 +64,10 @@ def outcomes(
     if spec.kind == "periodic":
         # Hidden pattern: part of the (static) workload, so the profiler
         # and the simulator see the same learnable structure.
-        if pattern_rng is None:
-            pattern_rng = rng
-        pattern = pattern_rng.integers(0, 2, size=spec.period).astype(
-            np.uint8
-        )
-        if pattern.min() == pattern.max():
-            # Degenerate constant patterns carry no periodic signal;
-            # force at least one transition so the kind behaves as named.
-            pattern[0] ^= 1
+        if pattern is None:
+            pattern = hidden_pattern(
+                spec, pattern_rng if pattern_rng is not None else rng
+            )
         idx = (start_offset + np.arange(n)) % spec.period
         base = pattern[idx]
         flips = (rng.random(n) < spec.noise).astype(np.uint8)

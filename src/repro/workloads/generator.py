@@ -5,6 +5,15 @@ derives its RNG from ``SeedSequence([seed, thread, segment])``, so the
 same spec always yields bit-identical traces.  This mirrors the paper's
 requirement that the profile be collected once and reused — our "binary"
 is the spec, and re-running it is deterministic.
+
+This module is the preserved *executable spec* of expansion: simple,
+per-segment, and allocation-per-block.  Production call sites route
+through the columnar planner/executor in
+:mod:`repro.workloads.engine` (usually via a
+:class:`~repro.experiments.store.TraceCache`), which memoizes the
+static-code artifacts and writes into per-thread arenas —
+bit-identical to this path, pinned by the hypothesis suite in
+``tests/test_engine.py``.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ Python.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -116,6 +117,20 @@ class TraceBlock:
     def n_instructions(self) -> int:
         """Number of micro-ops in the block."""
         return len(self.op)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the block's arrays, in bytes.
+
+        For arena-backed blocks (zero-copy views produced by the
+        expansion engine) this counts the bytes the view *covers*, not
+        the whole arena — summing over a trace's blocks therefore
+        equals the arena footprint exactly.
+        """
+        return sum(
+            len(getattr(self, name)) * getattr(self, name).itemsize
+            for name in ("op", "dep", "addr", "taken", "iline")
+        )
 
     @classmethod
     def empty(cls) -> "TraceBlock":
@@ -235,8 +250,44 @@ class WorkloadTrace:
         """Total dynamic micro-op count across all threads."""
         return sum(t.n_instructions for t in self.threads)
 
+    @property
+    def nbytes(self) -> int:
+        """Total array footprint across all threads and segments."""
+        return sum(
+            seg.block.nbytes
+            for t in self.threads
+            for seg in t.segments
+        )
+
     def thread(self, tid: int) -> ThreadTrace:
         return self.threads[tid]
+
+    def content_digest(self) -> str:
+        """Stable SHA-256 digest of the trace's full dynamic content.
+
+        Covers every micro-op array, every synchronization event and
+        the thread/segment structure — two traces digest equal iff they
+        are bit-identical, regardless of how their arrays are backed
+        (legacy per-segment buffers or arena views).  This is the
+        identity the content-addressed trace store and the expansion
+        equivalence suite hang off.
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"trace|{self.name}|{self.seed}|{len(self.threads)}".encode()
+        )
+        for t in self.threads:
+            for seg in t.segments:
+                e = seg.event
+                h.update(
+                    f"|{t.thread_id}|{seg.epoch}|{seg.label}"
+                    f"|{e.kind.value}|{e.obj}|{e.participants}"
+                    f"|{e.items}|{seg.block.n_instructions}".encode()
+                )
+                b = seg.block
+                for arr in (b.op, b.dep, b.addr, b.taken, b.iline):
+                    h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()
 
     def validate(self) -> None:
         """Check structural well-formedness; raise ValueError if broken.

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.workloads.ir import OP_CODES, SyncOp
+from repro.workloads.ir import OP_CODES, PC_SLOTS_PER_LINE, SyncOp
 
 #: Default instruction mix: a generic integer-dominated workload.
 DEFAULT_MIX: Dict[str, float] = {
@@ -183,6 +183,16 @@ class EpochSpec:
             raise ValueError("at least one memory pattern is required")
         if self.code_lines <= 0 or self.instrs_per_line <= 0:
             raise ValueError("code footprint must be positive")
+        if self.instrs_per_line > PC_SLOTS_PER_LINE:
+            # The synthetic PC encoding packs at most PC_SLOTS_PER_LINE
+            # ops per instruction-cache line; beyond that,
+            # ``instruction_pcs`` would silently clamp offsets and
+            # alias distinct branch sites onto one PC, corrupting
+            # branch-context statistics and predictor tables alike.
+            raise ValueError(
+                f"instrs_per_line {self.instrs_per_line} exceeds the "
+                f"PC encoding's {PC_SLOTS_PER_LINE} slots per line"
+            )
         if self.n > 0 and self.mix.get("load", 0.0) + self.mix.get(
             "store", 0.0
         ) > 0 and not any(p.store_ok for p in self.mem):

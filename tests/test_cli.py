@@ -140,3 +140,65 @@ class TestCommands:
         # Equivalence is not timing-sensitive: enforce it even here.
         assert ilp["max_rel_err"] <= 1e-9
         assert record["suite"]["instructions"] > 0
+
+    def test_bench_expand_section(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_profiler.json"
+        assert main([
+            "bench", "--quick", "--scale", "0.2", "-o", str(out_file),
+            "--no-service",
+        ]) == 0
+        record = json.loads(out_file.read_text())
+        assert record["schema"] >= 4
+        expand = record["expand"]
+        assert expand["instructions"] > 0
+        assert expand["arena_bytes"] > 0
+        assert expand["speedup"] > 0
+        assert 0.0 <= expand["memo_hit_rate"] <= 1.0
+        # Equivalence is not timing-sensitive: enforce it even here.
+        assert expand["digest_mismatches"] == 0
+
+
+class TestStoreCommand:
+    def _root(self, tmp_path, monkeypatch):
+        root = tmp_path / "store-root"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        return root
+
+    def _populate(self, root):
+        from repro.experiments.store import ProfileStore, TraceCache
+        from tests.conftest import barrier_workload
+        cache = TraceCache(store=ProfileStore(root))
+        cache.get(barrier_workload(seed=5))
+
+    def test_stats_empty(self, tmp_path, monkeypatch, capsys):
+        self._root(tmp_path, monkeypatch)
+        assert main(["store", "stats"]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+    def test_stats_lists_kinds(self, tmp_path, monkeypatch, capsys):
+        root = self._root(tmp_path, monkeypatch)
+        self._populate(root)
+        assert main(["store", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "traces" in out and "total" in out
+
+    def test_prune_requires_filter_or_all(
+        self, tmp_path, monkeypatch
+    ):
+        self._root(tmp_path, monkeypatch)
+        with pytest.raises(SystemExit, match="--all"):
+            main(["store", "prune"])
+
+    def test_prune_kind(self, tmp_path, monkeypatch, capsys):
+        root = self._root(tmp_path, monkeypatch)
+        self._populate(root)
+        assert main(["store", "prune", "--kind", "traces"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert not list((root / "traces").glob("*.pkl"))
+
+    def test_prune_dry_run(self, tmp_path, monkeypatch, capsys):
+        root = self._root(tmp_path, monkeypatch)
+        self._populate(root)
+        assert main(["store", "prune", "--all", "--dry-run"]) == 0
+        assert "would remove" in capsys.readouterr().out
+        assert list((root / "traces").glob("*.pkl"))

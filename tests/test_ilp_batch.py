@@ -317,10 +317,15 @@ class TestProfilerIntegration:
 
 
 class TestBenchCheck:
-    def _record(self, collector=10.0, ilp=16.0, err=0.0, ips=2.5e6):
+    def _record(self, collector=10.0, ilp=16.0, err=0.0, ips=2.5e6,
+                expand=100.0, mismatches=0):
         return {
             "collector": {"speedup": collector},
             "ilp": {"speedup": ilp, "max_rel_err": err},
+            "expand": {
+                "speedup": expand,
+                "digest_mismatches": mismatches,
+            },
             "suite": {"ips": ips},
         }
 
@@ -331,11 +336,15 @@ class TestBenchCheck:
         assert len(check_bench(self._record(collector=1.0))) == 1
         assert len(check_bench(self._record(ilp=1.0))) == 1
         assert len(check_bench(self._record(ips=0.2e6))) == 1
-        # Bit-identity: any non-zero divergence fires the check.
+        assert len(check_bench(self._record(expand=1.0))) == 1
+        # Bit-identity: any non-zero divergence fires the check —
+        # for the ILP tables and for the expanded-trace digests alike.
         assert len(check_bench(self._record(err=1e-15))) == 1
+        assert len(check_bench(self._record(mismatches=1))) == 1
         assert len(check_bench(
-            self._record(collector=0.5, ilp=0.5, err=1.0, ips=1.0)
-        )) == 4
+            self._record(collector=0.5, ilp=0.5, err=1.0, ips=1.0,
+                         expand=0.5, mismatches=2)
+        )) == 6
 
     def test_suite_floor_skipped_at_toy_scales(self):
         # Absolute throughput is only meaningful at the committed

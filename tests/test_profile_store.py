@@ -211,3 +211,123 @@ class TestPrefetch:
         ) == []
         assert (refs[0].label, base_cfg) in cache2._predictions
         assert (refs[0].label, base_cfg) in cache2._simulations
+
+
+class TestTraceKind:
+    """The content-addressed ``traces`` kind behind the TraceCache."""
+
+    def _spec(self, seed=3):
+        from tests.conftest import barrier_workload
+        return barrier_workload(seed=seed)
+
+    def test_trace_key_tracks_spec_content(self):
+        assert ProfileStore.trace_key(
+            self._spec(seed=1)
+        ) != ProfileStore.trace_key(self._spec(seed=2))
+        assert ProfileStore.trace_key(
+            self._spec(seed=1)
+        ) == ProfileStore.trace_key(self._spec(seed=1))
+
+    def test_save_load_roundtrip(self, store):
+        from repro.workloads.engine import expand
+        spec = self._spec()
+        trace = expand(spec)
+        key = ProfileStore.trace_key(spec)
+        store.save_trace(key, trace)
+        loaded = store.load_trace(key)
+        assert loaded is not None
+        assert loaded.content_digest() == trace.content_digest()
+
+    def test_corrupt_trace_is_none(self, store):
+        from repro.workloads.engine import expand
+        spec = self._spec()
+        key = ProfileStore.trace_key(spec)
+        path = store.save_trace(key, expand(spec))
+        path.write_bytes(b"garbage")
+        assert store.load_trace(key) is None
+
+    def test_bit_corrupted_trace_is_none(self, store):
+        # Loadable pickle, structurally valid trace, corrupted array
+        # content: only the embedded digest can catch this.
+        import pickle
+
+        from repro.workloads.engine import expand
+        spec = self._spec()
+        key = ProfileStore.trace_key(spec)
+        path = store.save_trace(key, expand(spec))
+        payload = pickle.loads(path.read_bytes())
+        payload["trace"]["threads"][0]["op"][0] ^= 1
+        path.write_bytes(pickle.dumps(payload))
+        assert store.load_trace(key) is None
+
+    def test_stale_trace_is_none(self, store):
+        import pickle
+
+        from repro.workloads.engine import expand
+        spec = self._spec()
+        key = ProfileStore.trace_key(spec)
+        path = store.save_trace(key, expand(spec))
+        payload = pickle.loads(path.read_bytes())
+        payload["schema"] = SCHEMA_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        assert store.load_trace(key) is None
+
+
+class TestStatsAndPrune:
+    def _populate(self, store, small_profile):
+        from repro.workloads.engine import expand
+        from tests.conftest import barrier_workload
+        store.save_profile(
+            ProfileStore.profile_key("a", 1, 1.0, 4096), small_profile
+        )
+        store.save_profile(
+            ProfileStore.profile_key("b", 2, 1.0, 4096), small_profile
+        )
+        spec = barrier_workload(seed=4)
+        store.save_trace(ProfileStore.trace_key(spec), expand(spec))
+
+    def test_stats_counts_and_bytes(self, store, small_profile):
+        assert store.stats() == {}
+        self._populate(store, small_profile)
+        stats = store.stats()
+        assert stats["profiles"]["artifacts"] == 2
+        assert stats["traces"]["artifacts"] == 1
+        assert stats["traces"]["bytes"] > 0
+
+    def test_prune_all(self, store, small_profile):
+        self._populate(store, small_profile)
+        removed = store.prune()
+        assert removed["profiles"]["removed"] == 2
+        assert removed["traces"]["removed"] == 1
+        assert store.stats()["profiles"]["artifacts"] == 0
+
+    def test_prune_kind_restricted(self, store, small_profile):
+        self._populate(store, small_profile)
+        removed = store.prune(kinds=["traces"])
+        assert list(removed) == ["traces"]
+        assert store.stats()["profiles"]["artifacts"] == 2
+        assert store.stats()["traces"]["artifacts"] == 0
+
+    def test_prune_dry_run_removes_nothing(self, store, small_profile):
+        self._populate(store, small_profile)
+        removed = store.prune(dry_run=True)
+        assert removed["profiles"]["removed"] == 2
+        assert store.stats()["profiles"]["artifacts"] == 2
+
+    def test_prune_stale_only(self, store, small_profile):
+        self._populate(store, small_profile)
+        key = ProfileStore.profile_key("stale", 9, 1.0, 4096)
+        path = store.save_profile(key, small_profile)
+        payload = json.loads(path.read_text())
+        payload["schema"] = SCHEMA_VERSION - 1
+        path.write_text(json.dumps(payload))
+        removed = store.prune(stale_only=True)
+        assert removed["profiles"]["removed"] == 1
+        assert store.load_profile(
+            ProfileStore.profile_key("a", 1, 1.0, 4096)
+        ) is not None
+
+    def test_prune_age_filter_keeps_young(self, store, small_profile):
+        self._populate(store, small_profile)
+        removed = store.prune(older_than_s=3600.0)
+        assert all(v["removed"] == 0 for v in removed.values())

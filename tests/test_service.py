@@ -239,6 +239,22 @@ class TestHTTPEndpoints:
         cache = kernel["table_cache"]
         assert cache["hits"] >= 0 and cache["misses"] >= 1
 
+    def test_healthz_exposes_trace_cache_counters(self, client):
+        """The engine-resident trace LRU and the columnar expansion
+        engine's memo/arena counters ride on ``/healthz``."""
+        client.predict("rodinia.nn", scale=SCALE)  # force one profile
+        engine = client.healthz()["engine"]
+        tcache = engine["trace_cache"]
+        for key in ("hits", "misses", "store_hits", "store_saves",
+                    "evictions", "traces", "bytes"):
+            assert key in tcache
+        assert tcache["misses"] >= 1
+        expand = engine["expand_engine"]
+        for key in ("workloads", "segments", "instructions",
+                    "arena_bytes", "memo_hit_rate"):
+            assert key in expand
+        assert expand["workloads"] >= 1
+
     def test_predict_bit_identical_to_cli(self, client, capsys):
         payload = client.predict("rodinia.nn", scale=SCALE)
         assert main([
