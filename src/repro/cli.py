@@ -241,6 +241,14 @@ def cmd_store(args) -> int:
             total_b += entry["bytes"]
         print(f"  {'total':<12s} {total_n:6d} artifacts  "
               f"{total_b / 2**20:8.1f} MiB")
+        quarantine = store.health()["quarantine"]
+        if quarantine:
+            inventory = ", ".join(
+                f"{kind}={n}" for kind, n in sorted(quarantine.items())
+            )
+            print(f"  quarantine holds corrupt/stale evidence "
+                  f"({inventory}); sweep with: "
+                  f"repro store prune --kind quarantine")
         return 0
     # prune: refuse to silently wipe the whole store — require either
     # a narrowing filter or the explicit --all.
@@ -281,6 +289,9 @@ def cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        max_queue=args.max_queue,
+        deadline_ms=args.deadline_ms,
+        drain_timeout=args.drain_timeout,
     ).run()
     return 0
 
@@ -395,6 +406,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine worker threads (default 2)")
     p.add_argument("--no-store", action="store_true",
                    help="serve without the on-disk artifact store")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="admission bound on queued distinct requests; "
+                        "beyond it the server sheds with 429 + "
+                        "Retry-After (default 64)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   metavar="MS",
+                   help="server-side deadline per request; expiry "
+                        "returns 503 (clients may tighten it via "
+                        "X-Deadline-Ms, never extend; default: none)")
+    p.add_argument("--drain-timeout", type=float, default=5.0,
+                   metavar="S",
+                   help="max seconds graceful shutdown waits for "
+                        "in-flight work before closing connections "
+                        "(default 5)")
     return parser
 
 

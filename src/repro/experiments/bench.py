@@ -94,10 +94,18 @@ CHECK_FLOORS: Dict[str, float] = {
 #: Committed serving floors: warm-cache ``/v1/predict`` throughput
 #: through the real HTTP stack (req/s) and the end-to-end success
 #: requirement.  Measured rates on a developer-class core are in the
-#: thousands; 200 absorbs noisy shared CI runners.
+#: thousands; 200 absorbs noisy shared CI runners.  The overload
+#: floors are the robustness contract: under 4x admission overload,
+#: every non-success is *explained* (a well-formed 429 shed, a 503
+#: with the deadline echoed, or — only when the scenario kills the
+#: server — a connection error), no worker hangs, and the server
+#: still serves goodput while shedding.
 SERVICE_FLOORS: Dict[str, float] = {
     "warm_rps": 200.0,
     "max_error_rate": 0.0,
+    "max_unexplained_errors": 0,
+    "max_malformed_sheds": 0,
+    "max_hung_workers": 0,
 }
 
 
@@ -478,67 +486,140 @@ def run_service_bench(
     duration_s: Optional[float] = None,
     concurrency: int = 8,
     scale: float = 0.5,
+    overload: bool = True,
 ) -> Dict:
-    """Measure warm-cache serving throughput through the real stack.
+    """Measure warm-cache serving throughput AND overload behavior.
 
     Boots the asyncio HTTP server on an ephemeral port (memory-only
     engine, so the record reflects this build, not a previous run's
-    disk cache), drives it with the closed-loop load generator and
-    writes the ``BENCH_service.json`` record.
+    disk cache), drives it with the closed-loop load generator, then
+    runs the chaos/overload scenarios (stampede, slow engine, kill
+    mid-burst) against dedicated servers.  Writes the schema-2
+    ``BENCH_service.json`` record: ``{"warm": ..., "overload": ...}``.
     """
     from repro.service.engine import PredictionEngine
-    from repro.service.loadgen import run_loadgen
+    from repro.service.loadgen import (
+        SERVICE_BENCH_SCHEMA, run_loadgen, run_overload_scenarios,
+    )
     from repro.service.server import BackgroundServer
 
     if duration_s is None:
         duration_s = 1.5 if quick else 4.0
     engine = PredictionEngine(store=None)
     with BackgroundServer(engine=engine, workers=2) as server:
-        record = run_loadgen(
+        warm = run_loadgen(
             "127.0.0.1", server.port,
             benchmark="rodinia.nn", config="base", scale=scale,
             duration_s=duration_s, concurrency=concurrency,
         )
-    record["mode"] = "quick" if quick else "full"
+    record = {
+        "schema": SERVICE_BENCH_SCHEMA,
+        "mode": "quick" if quick else "full",
+        "warm": warm,
+        "overload": (
+            run_overload_scenarios(quick=quick, scale=scale)
+            if overload else {}
+        ),
+    }
     if output:
         with open(output, "w") as fh:
             json.dump(record, fh, indent=2)
     return record
 
 
+def _check_scenario(name: str, rec: Dict) -> List[str]:
+    """Floors shared by every overload scenario record."""
+    failures = []
+    if rec["unexplained_errors"] > SERVICE_FLOORS[
+        "max_unexplained_errors"
+    ]:
+        failures.append(
+            f"{name}: {rec['unexplained_errors']} unexplained errors "
+            f"(budget is 0 — every failure must be a typed shed, "
+            f"deadline 503, or expected connection drop)"
+        )
+    malformed = rec["malformed_shed"] + rec["malformed_503"]
+    if malformed > SERVICE_FLOORS["max_malformed_sheds"]:
+        failures.append(
+            f"{name}: {malformed} malformed refusals (429 without "
+            f"Retry-After or 503 without a deadline/drain reason)"
+        )
+    if rec["hung_workers"] > SERVICE_FLOORS["max_hung_workers"]:
+        failures.append(
+            f"{name}: {rec['hung_workers']} loadgen workers failed "
+            f"to join — a request hung instead of failing fast"
+        )
+    return failures
+
+
 def check_service(record: Dict) -> List[str]:
     """Validate a serving record against :data:`SERVICE_FLOORS`."""
     failures = []
-    rps = record["throughput_rps"]
+    warm = record["warm"]
+    rps = warm["throughput_rps"]
     if rps < SERVICE_FLOORS["warm_rps"]:
         failures.append(
             f"service warm-cache throughput {rps:.0f} req/s below "
             f"committed floor {SERVICE_FLOORS['warm_rps']:.0f} req/s"
         )
-    total = record["requests"] + record["errors"]
-    error_rate = record["errors"] / total if total else 1.0
+    total = warm["attempts"]
+    error_rate = warm["errors"] / total if total else 1.0
     if error_rate > SERVICE_FLOORS["max_error_rate"]:
         failures.append(
             f"service error rate {error_rate:.2%} above tolerance "
             f"{SERVICE_FLOORS['max_error_rate']:.0%}"
+        )
+    failures.extend(_check_scenario("warm", warm))
+    for name, rec in record.get("overload", {}).items():
+        failures.extend(_check_scenario(name, rec))
+    stampede = record.get("overload", {}).get("stampede")
+    if stampede is not None:
+        if stampede["shed"] == 0:
+            failures.append(
+                "stampede: admission control never shed under 4x "
+                "overload — the queue bound is not being enforced"
+            )
+        if stampede["ok"] == 0:
+            failures.append(
+                "stampede: zero goodput while overloaded — shedding "
+                "must protect service, not replace it"
+            )
+    slow = record.get("overload", {}).get("slow_engine")
+    if slow is not None and slow["unavailable"] == 0:
+        failures.append(
+            "slow_engine: no deadline 503s despite the engine "
+            "running ~10x past the deadline"
         )
     return failures
 
 
 def render_service(record: Dict) -> str:
     """Human-readable summary of a serving record."""
-    lat = record["latency_ms"]
-    return "\n".join([
+    warm = record["warm"]
+    lat = warm["latency_ms"]
+    lines = [
         f"service bench ({record.get('mode', '?')}, "
-        f"{record['benchmark']} on {record['config']}, "
-        f"concurrency={record['concurrency']})",
-        f"  warm /v1/predict     : {record['throughput_rps']:8.0f} "
+        f"{warm['benchmark']} on {warm['config']}, "
+        f"concurrency={warm['concurrency']})",
+        f"  warm /v1/predict     : {warm['throughput_rps']:8.0f} "
         f"req/s  (p50 {lat['p50']:.2f} ms, p99 {lat['p99']:.2f} ms, "
-        f"{record['errors']} errors)",
-        f"  result-cache hit rate: {record['cache_hit_rate']:8.1%}  "
-        f"({record['single_flight_collapsed']} single-flight "
+        f"{warm['errors']} errors)",
+        f"  result-cache hit rate: {warm['cache_hit_rate']:8.1%}  "
+        f"({warm['single_flight_collapsed']} single-flight "
         f"collapses)",
-    ])
+    ]
+    for name, rec in record.get("overload", {}).items():
+        refused = (
+            rec["shed"] + rec["unavailable"] + rec["malformed_shed"]
+            + rec["malformed_503"]
+        )
+        lines.append(
+            f"  overload {name:<12}: {rec['ok']:5d} ok, "
+            f"{refused} refused, {rec['connection_errors']} conn "
+            f"drops, {rec['unexplained_errors']} unexplained, "
+            f"{rec['hung_workers']} hung"
+        )
+    return "\n".join(lines)
 
 
 def check_bench(result: Dict) -> List[str]:

@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.profiler.profile import ILPTable, WorkloadProfile
+from repro.testing.faults import FAULTS, SimulatedCrash
 from repro.workloads.engine import (
     ExpansionEngine,
     default_engine,
@@ -99,20 +100,84 @@ def default_root() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+class StoreCounters:
+    """Thread-safe health accounting for one :class:`ProfileStore`.
+
+    Degradation must be *counted*, never silent: every corrupt or
+    stale artifact, dropped write and I/O error lands here, and the
+    serving plane surfaces the snapshot through ``/healthz`` and
+    ``repro store stats``.  ``corruption_streak`` counts consecutive
+    bad loads since the last good one — a rising streak is the
+    error-budget signal for a rotting cache directory (bad disk,
+    truncated rsync), distinct from a one-off torn write.
+    """
+
+    _FIELDS = (
+        "writes",
+        "dropped_writes",
+        "io_errors",
+        "corrupt",
+        "schema_stale",
+        "quarantined",
+        "quarantine_failed",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {f: 0 for f in self._FIELDS}
+        self.corruption_streak = 0
+        self.max_corruption_streak = 0
+
+    def bump(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += by
+
+    def corruption(self) -> None:
+        """One bad artifact observed: extend the streak."""
+        with self._lock:
+            self.corruption_streak += 1
+            self.max_corruption_streak = max(
+                self.max_corruption_streak, self.corruption_streak
+            )
+
+    def healthy_load(self) -> None:
+        """One artifact loaded intact: the streak is broken."""
+        with self._lock:
+            self.corruption_streak = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            out = dict(self._counts)
+            out["corruption_streak"] = self.corruption_streak
+            out["max_corruption_streak"] = self.max_corruption_streak
+            return out
+
+
 class ProfileStore:
     """Content-addressed artifact store under one root directory.
 
-    All loads are *best effort*: a missing, stale-version or corrupt
-    file returns ``None`` and the caller recomputes (and usually
-    re-saves, healing the cache).  Writes go through a temp file +
-    rename so concurrent workers never observe partial artifacts.
+    All loads are *best effort*: a missing file returns ``None`` and
+    the caller recomputes (and usually re-saves, healing the cache).
+    A file that *exists but cannot be trusted* — unparseable, failing
+    its embedded digest, or carrying a stale schema — is **quarantined**
+    (moved to ``<root>/quarantine/<kind>/``) and counted before the
+    load reports a miss, so corruption is visible in ``store stats``
+    and ``/healthz`` instead of masquerading as cold cache.  Writes go
+    through a temp file + rename so concurrent workers never observe
+    partial artifacts.
 
     With ``strict=False`` writes are best effort too: an unwritable
-    root or a full disk silently degrades the store to a read-only
-    (or no-op) cache instead of aborting the computation whose result
-    was being saved — the mode :func:`~repro.experiments.suites.
+    root or a full disk degrades the store to a read-only (or no-op)
+    cache instead of aborting the computation whose result was being
+    saved — but every dropped write increments ``dropped_writes`` in
+    :attr:`counters` — the mode :func:`~repro.experiments.suites.
     shared_cache` uses, since a report run must survive a broken
     cache directory.
+
+    Chaos fault points (:mod:`repro.testing.faults`): ``store.read``
+    fires on every artifact read (error or payload mutation),
+    ``store.write`` before every write, ``store.crash`` between the
+    temp-file write and the atomic rename — the crash-safety window.
     """
 
     def __init__(
@@ -122,6 +187,7 @@ class ProfileStore:
     ) -> None:
         self.root = Path(root) if root is not None else default_root()
         self.strict = strict
+        self.counters = StoreCounters()
 
     # -- keys ---------------------------------------------------------------
 
@@ -186,8 +252,76 @@ class ProfileStore:
         except OSError:
             return []
 
+    def _read(self, path: Path) -> Optional[bytes]:
+        """Raw artifact bytes, or ``None`` (missing file = plain miss,
+        I/O failure = counted miss).  ``store.read`` faults fire here,
+        so injected I/O errors and bit flips hit every artifact kind.
+        """
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.counters.bump("io_errors")
+            return None
+        try:
+            return FAULTS.fire("store.read", data)
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.counters.bump("io_errors")
+            return None
+
+    def _quarantine(self, path: Path, kind: str, reason: str) -> None:
+        """Move a bad artifact to ``<root>/quarantine/<kind>/``.
+
+        The load still reports a miss (the caller recomputes and
+        re-saves, healing the cache), but the evidence is preserved
+        and counted instead of being re-read — and re-mistrusted —
+        forever.
+        """
+        self.counters.bump(
+            "schema_stale" if reason == "schema" else "corrupt"
+        )
+        self.counters.corruption()
+        dest = self.root / "quarantine" / kind / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+            self.counters.bump("quarantined")
+        except OSError:
+            # Fall back to unlinking so a poisoned artifact cannot be
+            # served as a repeat corruption on every future load.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.counters.bump("quarantine_failed")
+
+    def _load(self, kind: str, key: str, ext: str) -> Optional[dict]:
+        """Parsed, schema-checked artifact envelope (or ``None``)."""
+        path = self._path(kind, key, ext)
+        data = self._read(path)
+        if data is None:
+            return None
+        try:
+            payload = (
+                json.loads(data) if ext == "json" else pickle.loads(data)
+            )
+            if not isinstance(payload, dict):
+                raise ValueError("artifact envelope is not a mapping")
+        except Exception:
+            self._quarantine(path, kind, "corrupt")
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            self._quarantine(path, kind, "schema")
+            return None
+        return payload
+
     def _write(self, path: Path, data: bytes) -> None:
         try:
+            data = FAULTS.fire("store.write", data)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=path.parent, prefix=path.name, suffix=".tmp"
@@ -195,18 +329,27 @@ class ProfileStore:
         except OSError:
             if self.strict:
                 raise
+            self.counters.bump("dropped_writes")
             return
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(data)
+            # The crash-safety window: a process dying between the
+            # temp-file write and the rename must leave the published
+            # path untouched and only an orphan ``*.tmp`` behind.
+            FAULTS.fire("store.crash")
             os.replace(tmp, path)
+            self.counters.bump("writes")
         except BaseException as exc:
+            if isinstance(exc, SimulatedCrash):
+                raise  # a real crash runs no cleanup; prune reclaims
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             if self.strict or not isinstance(exc, OSError):
                 raise
+            self.counters.bump("dropped_writes")
 
     # -- profiles (JSON) ----------------------------------------------------
 
@@ -220,15 +363,18 @@ class ProfileStore:
         return path
 
     def load_profile(self, key: str) -> Optional[WorkloadProfile]:
-        path = self._path("profiles", key, "json")
-        try:
-            with open(path, "rb") as fh:
-                payload = json.load(fh)
-            if payload.get("schema") != SCHEMA_VERSION:
-                return None
-            return WorkloadProfile.from_dict(payload["profile"])
-        except (OSError, ValueError, KeyError, TypeError):
+        payload = self._load("profiles", key, "json")
+        if payload is None:
             return None
+        try:
+            profile = WorkloadProfile.from_dict(payload["profile"])
+        except Exception:
+            self._quarantine(
+                self._path("profiles", key, "json"), "profiles", "corrupt"
+            )
+            return None
+        self.counters.healthy_load()
+        return profile
 
     # -- ILP tables (JSON, content-addressed) -------------------------------
 
@@ -242,15 +388,19 @@ class ProfileStore:
         return path
 
     def load_ilp_table(self, key: str) -> Optional[ILPTable]:
-        path = self._path("ilptables", key, "json")
-        try:
-            with open(path, "rb") as fh:
-                payload = json.load(fh)
-            if payload.get("schema") != SCHEMA_VERSION:
-                return None
-            return ILPTable.from_dict(payload["table"])
-        except (OSError, ValueError, KeyError, TypeError):
+        payload = self._load("ilptables", key, "json")
+        if payload is None:
             return None
+        try:
+            table = ILPTable.from_dict(payload["table"])
+        except Exception:
+            self._quarantine(
+                self._path("ilptables", key, "json"), "ilptables",
+                "corrupt",
+            )
+            return None
+        self.counters.healthy_load()
+        return table
 
     # -- traces (pickle, columnar, content-addressed) -----------------------
 
@@ -265,22 +415,24 @@ class ProfileStore:
         return path
 
     def load_trace(self, key: str) -> Optional[WorkloadTrace]:
-        path = self._path("traces", key, "pkl")
+        payload = self._load("traces", key, "pkl")
+        if payload is None:
+            return None
         try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-            if payload.get("schema") != SCHEMA_VERSION:
-                return None
             trace = unpack_trace(payload["trace"])
             trace.validate()
             # Structural validation cannot see array corruption; the
             # embedded digest can.  A mismatch (bit rot, truncated
-            # copy of the cache dir) reads as a miss and re-expands.
+            # copy of the cache dir) quarantines and re-expands.
             if trace.content_digest() != payload.get("digest"):
-                return None
-            return trace
+                raise ValueError("trace content digest mismatch")
         except Exception:
+            self._quarantine(
+                self._path("traces", key, "pkl"), "traces", "corrupt"
+            )
             return None
+        self.counters.healthy_load()
+        return trace
 
     # -- predictions / simulations (pickle) ---------------------------------
 
@@ -293,15 +445,18 @@ class ProfileStore:
         return path
 
     def load_result(self, kind: str, key: str) -> Optional[Any]:
-        path = self._path(kind, key, "pkl")
-        try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-            if payload.get("schema") != SCHEMA_VERSION:
-                return None
-            return payload["result"]
-        except Exception:
+        payload = self._load(kind, key, "pkl")
+        if payload is None:
             return None
+        try:
+            result = payload["result"]
+        except KeyError:
+            self._quarantine(
+                self._path(kind, key, "pkl"), kind, "corrupt"
+            )
+            return None
+        self.counters.healthy_load()
+        return result
 
     # -- inventory / garbage collection -------------------------------------
 
@@ -315,16 +470,45 @@ class ProfileStore:
             return []
 
     def kinds(self) -> list:
-        """Artifact kinds present under the store root."""
+        """Artifact kinds present under the store root.
+
+        ``quarantine`` is not a kind — it holds evidence, not cache
+        entries — so it is excluded here and reported separately by
+        :meth:`stats` / :meth:`health`.
+        """
         try:
             return sorted(
-                d.name for d in self.root.iterdir() if d.is_dir()
+                d.name for d in self.root.iterdir()
+                if d.is_dir() and d.name != "quarantine"
             )
         except OSError:
             return []
 
+    @staticmethod
+    def _dir_stats(directory: Path) -> Dict[str, int]:
+        """File count + byte total of one directory (race tolerant)."""
+        count = 0
+        nbytes = 0
+        try:
+            entries = list(directory.iterdir())
+        except OSError:
+            entries = []
+        for path in entries:
+            try:
+                if not path.is_file():
+                    continue
+                nbytes += path.stat().st_size
+            except OSError:
+                continue  # unlinked by a concurrent writer/prune
+            count += 1
+        return {"artifacts": count, "bytes": nbytes}
+
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-kind artifact counts and byte totals (best effort)."""
+        """Per-kind artifact counts and byte totals (best effort).
+
+        Quarantined artifacts appear as ``quarantine/<kind>`` entries
+        so a rotting cache is visible from ``repro store stats``.
+        """
         out: Dict[str, Dict[str, int]] = {}
         for kind in self.kinds():
             count = 0
@@ -336,6 +520,25 @@ class ProfileStore:
                     continue
                 count += 1
             out[kind] = {"artifacts": count, "bytes": nbytes}
+        try:
+            qdirs = sorted(
+                d for d in (self.root / "quarantine").iterdir()
+                if d.is_dir()
+            )
+        except OSError:
+            qdirs = []
+        for qdir in qdirs:
+            out[f"quarantine/{qdir.name}"] = self._dir_stats(qdir)
+        return out
+
+    def health(self) -> Dict[str, Any]:
+        """Counter snapshot + quarantine inventory for ``/healthz``."""
+        out: Dict[str, Any] = self.counters.snapshot()
+        out["quarantine"] = {
+            kind.split("/", 1)[1]: entry["artifacts"]
+            for kind, entry in self.stats().items()
+            if kind.startswith("quarantine/")
+        }
         return out
 
     def _artifact_schema(self, path: Path) -> Optional[int]:
@@ -360,19 +563,83 @@ class ProfileStore:
     ) -> Dict[str, Dict[str, int]]:
         """Garbage-collect artifacts; returns per-kind removal stats.
 
-        ``kinds`` restricts the sweep (default: every kind present).
+        ``kinds`` restricts the sweep (default: every kind present;
+        pass ``"quarantine"`` explicitly to empty the quarantine tree
+        — the default sweep preserves it as evidence).
         ``older_than_s`` keeps artifacts younger than the cutoff;
         ``stale_only`` removes only artifacts whose embedded schema is
         not the current :data:`SCHEMA_VERSION` (or that cannot be read
         at all) — the entries every load already treats as misses.
         ``dry_run`` reports what would be removed without unlinking.
+
+        Orphaned ``*.tmp`` files left behind by crashed writers are
+        swept from every visited kind regardless of ``stale_only`` —
+        they are unreachable debris by construction.  The whole sweep
+        tolerates concurrent writers: a file vanishing between
+        ``iterdir()`` and ``stat()``/``unlink()`` is skipped, not an
+        error.
         """
         now = time.time()
         out: Dict[str, Dict[str, int]] = {}
         for kind in kinds if kinds is not None else self.kinds():
+            if kind == "quarantine":
+                out[kind] = self._prune_tree(
+                    self.root / "quarantine", older_than_s, dry_run, now
+                )
+                continue
             removed = 0
             nbytes = 0
-            for path in self._artifacts(kind):
+            kind_dir = self.root / kind
+            try:
+                tmp_files = sorted(kind_dir.glob("*.tmp"))
+            except OSError:
+                tmp_files = []
+            for path in list(self._artifacts(kind)) + tmp_files:
+                orphan = path.suffix == ".tmp"
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue  # lost a race with a concurrent prune
+                if older_than_s is not None and (
+                    now - st.st_mtime
+                ) < older_than_s:
+                    continue
+                if stale_only and not orphan and self._artifact_schema(
+                    path
+                ) == SCHEMA_VERSION:
+                    continue
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except FileNotFoundError:
+                        continue  # a concurrent writer renamed it away
+                    except OSError:
+                        continue
+                removed += 1
+                nbytes += st.st_size
+            out[kind] = {"removed": removed, "bytes": nbytes}
+        return out
+
+    def _prune_tree(
+        self,
+        root: Path,
+        older_than_s: Optional[float],
+        dry_run: bool,
+        now: float,
+    ) -> Dict[str, int]:
+        """Sweep every file under ``root`` (quarantine evidence)."""
+        removed = 0
+        nbytes = 0
+        try:
+            subdirs = [d for d in root.iterdir() if d.is_dir()]
+        except OSError:
+            subdirs = []
+        for directory in subdirs:
+            try:
+                entries = list(directory.iterdir())
+            except OSError:
+                continue
+            for path in entries:
                 try:
                     st = path.stat()
                 except OSError:
@@ -381,10 +648,6 @@ class ProfileStore:
                     now - st.st_mtime
                 ) < older_than_s:
                     continue
-                if stale_only and self._artifact_schema(
-                    path
-                ) == SCHEMA_VERSION:
-                    continue
                 if not dry_run:
                     try:
                         path.unlink()
@@ -392,8 +655,7 @@ class ProfileStore:
                         continue
                 removed += 1
                 nbytes += st.st_size
-            out[kind] = {"removed": removed, "bytes": nbytes}
-        return out
+        return {"removed": removed, "bytes": nbytes}
 
 
 class TraceCache:

@@ -12,14 +12,21 @@ closed-loop load generator (:mod:`~repro.service.loadgen`).
 """
 
 from repro.service.batching import Coalescer, LRUCache
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceProtocolError,
+    ServiceTimeout,
+)
 from repro.service.engine import (
     PredictionEngine,
     ServiceRequest,
+    error_budget,
     format_compare,
     format_prediction,
 )
-from repro.service.loadgen import run_loadgen
+from repro.service.loadgen import run_loadgen, run_overload_scenarios
 from repro.service.server import BackgroundServer, PredictionService
 
 __all__ = [
@@ -30,8 +37,13 @@ __all__ = [
     "PredictionService",
     "ServiceClient",
     "ServiceError",
+    "ServiceOverloaded",
+    "ServiceProtocolError",
+    "ServiceTimeout",
     "ServiceRequest",
+    "error_budget",
     "format_compare",
     "format_prediction",
     "run_loadgen",
+    "run_overload_scenarios",
 ]

@@ -106,6 +106,8 @@ class Coalescer:
         self.max_batch = max(1, max_batch)
         self._pending: List[Tuple[Hashable, Any]] = []
         self._inflight: Dict[Hashable, asyncio.Future] = {}
+        #: key -> number of awaiting submitters (single-flight sharers).
+        self._waiters: Dict[Hashable, int] = {}
         self._drainers = 0
         #: Requests that collapsed onto an identical in-flight one.
         self.collapsed = 0
@@ -113,22 +115,73 @@ class Coalescer:
         self.batches = 0
         #: Total requests submitted.
         self.submitted = 0
+        #: Queued requests dropped because every waiter went away
+        #: (client disconnect / deadline) before the work shipped.
+        self.abandoned = 0
+        #: EWMA of per-request engine service time — the basis of the
+        #: server's ``Retry-After`` estimate under overload.
+        self.ewma_service_s = 0.0
+
+    def depth(self) -> int:
+        """Distinct requests admitted and not yet resolved."""
+        return len(self._inflight)
+
+    def estimate_wait_s(self, extra: int = 0) -> float:
+        """Rough time until a request submitted now would finish."""
+        per_request = self.ewma_service_s or 0.05
+        workers = self._max_workers
+        return (self.depth() + extra) * per_request / workers
 
     async def submit(self, key: Hashable, request: Any) -> Any:
-        """Resolve ``request``, sharing work with identical requests."""
+        """Resolve ``request``, sharing work with identical requests.
+
+        Cancellation-aware: if every waiter on a key is cancelled (a
+        client disconnected, a deadline fired) while the work is still
+        queued, the entry is dropped before it ever reaches the
+        engine.  Work already executing cannot be recalled — its
+        result simply resolves a future nobody awaits.
+        """
         loop = asyncio.get_running_loop()
         self.submitted += 1
         fut = self._inflight.get(key)
         if fut is not None:
             self.collapsed += 1
+        else:
+            fut = loop.create_future()
+            self._inflight[key] = fut
+            self._pending.append((key, request))
+            if self._drainers < self._max_workers:
+                self._drainers += 1
+                loop.create_task(self._drain(loop))
+        self._waiters[key] = self._waiters.get(key, 0) + 1
+        try:
             return await asyncio.shield(fut)
-        fut = loop.create_future()
-        self._inflight[key] = fut
-        self._pending.append((key, request))
-        if self._drainers < self._max_workers:
-            self._drainers += 1
-            loop.create_task(self._drain(loop))
-        return await asyncio.shield(fut)
+        except asyncio.CancelledError:
+            self._abandon(key, fut)
+            raise
+        finally:
+            remaining = self._waiters.get(key, 1) - 1
+            if remaining <= 0:
+                self._waiters.pop(key, None)
+            else:
+                self._waiters[key] = remaining
+
+    def _abandon(self, key: Hashable, fut: asyncio.Future) -> None:
+        """A waiter was cancelled; reap the work if it was the last."""
+        if self._waiters.get(key, 0) > 1:
+            return  # other waiters still want the result
+        if self._inflight.get(key) is not fut:
+            return  # already resolved or superseded
+        for i, (pending_key, _) in enumerate(self._pending):
+            if pending_key == key:
+                del self._pending[i]
+                self._inflight.pop(key, None)
+                if not fut.done():
+                    fut.cancel()
+                self.abandoned += 1
+                return
+        # Not pending: the batch is already on an executor thread.
+        # Let it finish; its result resolves an unawaited future.
 
     async def _drain(self, loop) -> None:
         try:
@@ -137,6 +190,7 @@ class Coalescer:
                 del self._pending[: len(batch)]
                 self.batches += 1
                 requests = [request for _, request in batch]
+                t0 = loop.time()
                 try:
                     results = await loop.run_in_executor(
                         self._executor, self._compute, requests
@@ -147,6 +201,11 @@ class Coalescer:
                         if fut is not None and not fut.done():
                             fut.set_exception(exc)
                     continue
+                per_request = (loop.time() - t0) / len(batch)
+                self.ewma_service_s = (
+                    per_request if self.ewma_service_s == 0.0
+                    else 0.8 * self.ewma_service_s + 0.2 * per_request
+                )
                 for (key, _), result in zip(batch, results):
                     fut = self._inflight.pop(key, None)
                     if fut is not None and not fut.done():
@@ -159,8 +218,10 @@ class Coalescer:
             "submitted": self.submitted,
             "collapsed": self.collapsed,
             "batches": self.batches,
+            "abandoned": self.abandoned,
             "inflight": len(self._inflight),
             "pending": len(self._pending),
+            "ewma_service_ms": round(self.ewma_service_s * 1e3, 3),
         }
 
 

@@ -48,6 +48,7 @@ from repro.profiler.profile import WorkloadProfile
 from repro.profiler.profiler import profile_workload
 from repro.service.batching import LRUCache
 from repro.simulator.multicore import simulate
+from repro.testing.faults import FAULTS
 from repro.workloads.engine import ENGINE_STATS
 from repro.workloads.parsec import PARSEC
 from repro.workloads.rodinia import RODINIA
@@ -384,6 +385,10 @@ class PredictionEngine:
             "misses": self.ilp_cache.misses,
         }
         stats["ilp_kernel"] = kernel
+        # Store health: quarantined artifacts, dropped writes, I/O
+        # errors and the corruption streak — the error-budget inputs.
+        if self.store is not None:
+            stats["store"] = self.store.health()
         return stats
 
     # -- batch face (used by the coalescer) ---------------------------------
@@ -391,6 +396,11 @@ class PredictionEngine:
     def handle(self, request: ServiceRequest) -> Tuple[int, dict]:
         """Serve one request; never raises — errors become payloads."""
         try:
+            # Chaos fault point: a slow or failing engine call.  The
+            # delay occupies this worker thread exactly like a real
+            # degraded engine would, which is how the overload
+            # scenarios manufacture a known, bounded capacity.
+            FAULTS.fire("engine.compute")
             if request.kind == "predict":
                 return 200, self.predict(
                     request.benchmark, request.config, request.cores,
@@ -419,6 +429,80 @@ class PredictionEngine:
     ) -> List[Tuple[int, dict]]:
         """One executor hop serving a coalesced group of requests."""
         return [self.handle(request) for request in requests]
+
+
+# -- error budget ------------------------------------------------------------
+
+#: Alert thresholds for the ``/healthz`` error-budget block.  The
+#: budget flags *degradation trends* — a collapsed result-cache hit
+#: rate (every request recomputing = the overload precursor), a
+#: corruption streak in the store (rotting cache directory), silently
+#: dropped writes — rather than individual failures, which are
+#: already counted where they happen.
+ERROR_BUDGET_THRESHOLDS: Dict[str, float] = {
+    #: Result-cache hit rate below this, after min_lookups, is a
+    #: cache collapse: the serving economy the engine is built on is
+    #: gone and cold-compute load is about to take the service down.
+    "min_result_hit_rate": 0.5,
+    #: Lookups before the hit-rate alert can fire (cold start grace).
+    "min_lookups": 64,
+    #: Consecutive corrupt/stale artifacts before the store alarm.
+    "max_corruption_streak": 3,
+}
+
+
+def error_budget(
+    engine_health: dict, admission: Optional[dict] = None
+) -> dict:
+    """The ``/healthz`` error-budget block.
+
+    Pure function of an engine health snapshot (plus the server's
+    admission counters when serving), so the CLI, tests and external
+    alerting (sipet-style alert systems polling ``/healthz``) compute
+    the same verdict from the same counters.
+    """
+    thresholds = ERROR_BUDGET_THRESHOLDS
+    alerts = []
+    cache = engine_health.get("result_cache", {})
+    lookups = cache.get("hits", 0) + cache.get("misses", 0)
+    hit_rate = cache.get("hits", 0) / lookups if lookups else None
+    cache_collapse = bool(
+        lookups >= thresholds["min_lookups"]
+        and hit_rate is not None
+        and hit_rate < thresholds["min_result_hit_rate"]
+    )
+    if cache_collapse:
+        alerts.append(
+            f"result-cache hit rate collapsed to {hit_rate:.1%} "
+            f"over {lookups} lookups"
+        )
+    store = engine_health.get("store", {})
+    streak = store.get("corruption_streak", 0)
+    corruption_alarm = streak >= thresholds["max_corruption_streak"]
+    if corruption_alarm:
+        alerts.append(
+            f"store corruption streak at {streak} consecutive bad "
+            f"artifacts"
+        )
+    dropped = store.get("dropped_writes", 0)
+    if dropped:
+        alerts.append(f"store dropped {dropped} writes (non-strict)")
+    quarantined = sum(store.get("quarantine", {}).values())
+    shed = admission.get("shed", 0) if admission else 0
+    attempted = shed + sum(engine_health.get("requests", {}).values())
+    return {
+        "ok": not alerts,
+        "alerts": alerts,
+        "result_cache_hit_rate": hit_rate,
+        "cache_hit_collapse": cache_collapse,
+        "corruption_streak": streak,
+        "corruption_alarm": corruption_alarm,
+        "dropped_writes": dropped,
+        "io_errors": store.get("io_errors", 0),
+        "quarantined": quarantined,
+        "shed": shed,
+        "shed_rate": shed / attempted if attempted else 0.0,
+    }
 
 
 # -- payloads and their CLI renderings --------------------------------------
@@ -509,12 +593,14 @@ def format_compare(payload: dict) -> str:
 
 
 __all__ = [
+    "ERROR_BUDGET_THRESHOLDS",
     "EngineStats",
     "PredictionEngine",
     "ServiceError",
     "ServiceRequest",
     "compare_payload",
     "default_store",
+    "error_budget",
     "format_compare",
     "format_prediction",
     "prediction_payload",

@@ -1,39 +1,180 @@
-"""Closed-loop load generator for the prediction service.
+"""Closed-loop load generator + overload scenarios for the service.
 
 ``concurrency`` worker threads each own one keep-alive
 :class:`~repro.service.client.ServiceClient` and issue back-to-back
-``/v1/predict`` requests until the deadline — the classic closed-loop
-harness, so measured throughput is the service's sustainable rate at
-that concurrency, not an open-loop arrival fantasy.  The warm-up
-request runs the one-time profile cost before timing starts, making
-the record the *serving* trajectory (``BENCH_service.json``), separate
+requests until the deadline — the classic closed-loop harness, so
+measured throughput is the service's sustainable rate at that
+concurrency, not an open-loop arrival fantasy.  The warm-up request
+runs the one-time profile cost before timing starts, making the
+record the *serving* trajectory (``BENCH_service.json``), separate
 from the profiling trajectory (``BENCH_profiler.json``).
 
-Record schema (``schema`` = 1)::
+Schema 2 records classify every request outcome — the overload
+contract is that **nothing is unexplained**: a request ends in a
+bit-identical success, a well-formed ``429 + Retry-After`` shed, a
+``503`` deadline/drain refusal, or (only when the scenario kills the
+server) a connection error.  ``unexplained_errors`` is floor-gated at
+zero by ``bench --check``.
 
-    {
-      "schema": 1, "endpoint": "/v1/predict",
-      "benchmark": ..., "config": ..., "cores": ..., "scale": ...,
-      "concurrency": N, "duration_s": measured wall-clock,
-      "requests": count, "errors": count,
-      "throughput_rps": requests / duration,
-      "latency_ms": {"mean": ..., "p50": ..., "p99": ..., "max": ...},
-      "cache_hit_rate": served-from-result-LRU fraction,
-      "single_flight_collapsed": coalesced duplicate count
-    }
+:func:`run_overload_scenarios` boots dedicated servers and drives the
+three chaos scenarios — **stampede** (4x admission overload against a
+tiny queue + deliberately slowed engine), **slow_engine** (deadline
+expiry under an engine running ~10x past the deadline) and
+**kill_mid_burst** (graceful drain triggered mid-traffic) — using the
+fault points in :mod:`repro.testing.faults` to manufacture a known,
+bounded capacity.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceProtocolError,
+    ServiceTimeout,
+)
 
-SERVICE_BENCH_SCHEMA = 1
+#: 2: typed outcome classification (ok / shed / unavailable /
+#: protocol / connection / unexplained), goodput + shed-rate, retry
+#: accounting, and the ``overload`` scenario records.
+SERVICE_BENCH_SCHEMA = 2
+
+_OUTCOMES = (
+    "ok",
+    "shed",                # 429 with a well-formed Retry-After
+    "malformed_shed",      # 429 missing the Retry-After contract
+    "unavailable",         # 503 deadline expiry / draining
+    "malformed_503",       # 503 without deadline/drain explanation
+    "protocol_errors",     # undecodable response body
+    "connection_errors",   # transport drop (reset, refused, closed)
+    "unexplained_errors",  # anything else: the budget that must be 0
+)
+
+
+def _classify(exc: Exception) -> str:
+    """Map one failed request onto the outcome taxonomy."""
+    if isinstance(exc, ServiceOverloaded):
+        well_formed = (
+            exc.retry_after is not None
+            and isinstance(exc.payload, dict)
+            and "error" in exc.payload
+        )
+        return "shed" if well_formed else "malformed_shed"
+    if isinstance(exc, ServiceTimeout):
+        if exc.status is None:
+            return "connection_errors"  # socket timeout: no response
+        payload = exc.payload if isinstance(exc.payload, dict) else {}
+        explained = (
+            payload.get("deadline_ms") is not None
+            or "drain" in str(payload.get("error", ""))
+        )
+        return "unavailable" if explained else "malformed_503"
+    if isinstance(exc, ServiceProtocolError):
+        return "protocol_errors"
+    if isinstance(exc, ServiceError):
+        return "unexplained_errors"
+    if isinstance(exc, (ConnectionError, OSError)):
+        return "connection_errors"
+    import http.client
+    if isinstance(exc, http.client.HTTPException):
+        return "connection_errors"
+    return "unexplained_errors"
+
+
+def _drive(
+    host: str,
+    port: int,
+    make_call: Callable[[ServiceClient, int, int], dict],
+    duration_s: float,
+    concurrency: int,
+    retries: int,
+    join_grace_s: float = 30.0,
+) -> Dict:
+    """Closed-loop drive: returns merged outcome counts + latencies.
+
+    ``make_call(client, worker_id, iteration)`` issues one request.
+    Every worker classifies every exception — a worker thread dying
+    uncounted or failing to join (``hung_workers``) is itself a
+    reported failure mode, never a silent one.
+    """
+    counts = {name: 0 for name in _OUTCOMES}
+    latencies: List[float] = []
+    retried = [0]
+    sink_lock = threading.Lock()
+    barrier = threading.Barrier(concurrency + 1)
+    state = {"deadline": 0.0}
+
+    def _run(worker_id: int) -> None:
+        with ServiceClient(host, port, retries=retries) as client:
+            mine = {name: 0 for name in _OUTCOMES}
+            lat: List[float] = []
+            try:
+                barrier.wait(timeout=30)
+            except threading.BrokenBarrierError:
+                return
+            iteration = 0
+            while True:
+                t0 = time.perf_counter()
+                if t0 >= state["deadline"]:
+                    break
+                try:
+                    make_call(client, worker_id, iteration)
+                except Exception as exc:
+                    mine[_classify(exc)] += 1
+                else:
+                    mine["ok"] += 1
+                    lat.append(time.perf_counter() - t0)
+                iteration += 1
+            with sink_lock:
+                for name, value in mine.items():
+                    counts[name] += value
+                latencies.extend(lat)
+                retried[0] += client.retried
+
+    threads = [
+        threading.Thread(target=_run, args=(i,), daemon=True)
+        for i in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    t_start = time.perf_counter()
+    state["deadline"] = t_start + duration_s
+    barrier.wait(timeout=30)  # release all workers at once
+    hung = 0
+    for t in threads:
+        t.join(timeout=duration_s + join_grace_s)
+        if t.is_alive():
+            hung += 1
+    elapsed = time.perf_counter() - t_start
+
+    lat = np.asarray(latencies, dtype=np.float64) * 1e3
+    ok = counts["ok"]
+    attempts = sum(counts.values())
+    return {
+        **counts,
+        "attempts": attempts,
+        "hung_workers": hung,
+        "retries": retried[0],
+        "duration_s": elapsed,
+        "goodput_rps": ok / elapsed if elapsed > 0 else 0.0,
+        "shed_rate": (
+            (counts["shed"] + counts["malformed_shed"]) / attempts
+            if attempts else 0.0
+        ),
+        "latency_ms": {
+            "mean": float(lat.mean()) if ok else 0.0,
+            "p50": float(np.percentile(lat, 50)) if ok else 0.0,
+            "p99": float(np.percentile(lat, 99)) if ok else 0.0,
+            "max": float(lat.max()) if ok else 0.0,
+        },
+    }
 
 
 def run_loadgen(
@@ -45,61 +186,29 @@ def run_loadgen(
     scale: float = 1.0,
     duration_s: float = 2.0,
     concurrency: int = 8,
+    retries: int = 0,
+    deadline_ms: Optional[float] = None,
 ) -> Dict:
-    """Drive a running service; return the ``BENCH_service`` record."""
+    """Drive a running service; return the warm ``BENCH_service`` record."""
     params = {
         "benchmark": benchmark, "config": config,
         "cores": cores, "scale": scale,
     }
-    with ServiceClient(host, port) as warm:
+    with ServiceClient(host, port, retries=retries) as warm:
         warm.predict(**params)  # one-time profile cost, outside timing
         stats0 = warm.healthz()
 
-    latencies: List[float] = []
-    errors: List[int] = []
-    sink_lock = threading.Lock()
-    # Workers park on the barrier until the main thread has stamped the
-    # deadline, so connection ramp-up never eats the measurement window.
-    barrier = threading.Barrier(concurrency + 1)
-    state = {"deadline": 0.0}
+    def call(client: ServiceClient, worker_id: int, i: int) -> dict:
+        return client.predict(**params, deadline_ms=deadline_ms)
 
-    def _run() -> None:
-        with ServiceClient(host, port) as client:
-            mine: List[float] = []
-            failed = 0
-            barrier.wait()
-            while True:
-                t0 = time.perf_counter()
-                if t0 >= state["deadline"]:
-                    break
-                try:
-                    client.predict(**params)
-                except Exception:
-                    failed += 1
-                    continue
-                mine.append(time.perf_counter() - t0)
-            with sink_lock:
-                latencies.extend(mine)
-                errors.append(failed)
-
-    threads = [
-        threading.Thread(target=_run, daemon=True)
-        for _ in range(concurrency)
-    ]
-    for t in threads:
-        t.start()
-    t_start = time.perf_counter()
-    state["deadline"] = t_start + duration_s
-    barrier.wait()  # release all workers at once
-    for t in threads:
-        t.join()
-    elapsed = time.perf_counter() - t_start
+    drive = _drive(
+        host, port, call, duration_s=duration_s,
+        concurrency=concurrency, retries=retries,
+    )
 
     with ServiceClient(host, port) as probe:
         stats1 = probe.healthz()
 
-    lat = np.asarray(latencies, dtype=np.float64) * 1e3
-    requests = len(latencies)
     cache0 = stats0["engine"]["result_cache"]
     cache1 = stats1["engine"]["result_cache"]
     d_hits = cache1["hits"] - cache0["hits"]
@@ -108,7 +217,7 @@ def run_loadgen(
         stats1["coalescer"]["collapsed"]
         - stats0["coalescer"]["collapsed"]
     )
-    return {
+    record = {
         "schema": SERVICE_BENCH_SCHEMA,
         "endpoint": "/v1/predict",
         "benchmark": benchmark,
@@ -116,21 +225,197 @@ def run_loadgen(
         "cores": cores,
         "scale": scale,
         "concurrency": concurrency,
-        "duration_s": elapsed,
-        "requests": requests,
-        "errors": int(sum(errors)),
-        "throughput_rps": requests / elapsed if elapsed > 0 else 0.0,
-        "latency_ms": {
-            "mean": float(lat.mean()) if requests else 0.0,
-            "p50": float(np.percentile(lat, 50)) if requests else 0.0,
-            "p99": float(np.percentile(lat, 99)) if requests else 0.0,
-            "max": float(lat.max()) if requests else 0.0,
-        },
+        **drive,
+        "requests": drive["ok"],
+        "errors": drive["unexplained_errors"],  # schema-1 compatible
+        "throughput_rps": drive["goodput_rps"],
         "cache_hit_rate": (
             d_hits / d_lookups if d_lookups > 0 else 0.0
         ),
         "single_flight_collapsed": int(collapsed),
     }
+    return record
 
 
-__all__ = ["SERVICE_BENCH_SCHEMA", "run_loadgen"]
+# -- overload / chaos scenarios ----------------------------------------------
+
+
+def _scenario_stampede(
+    benchmark: str, scale: float, duration_s: float
+) -> Dict:
+    """4x-overload stampede into a tiny admission queue.
+
+    A deliberately slowed engine (chaos ``engine.compute`` delay)
+    pins capacity at ~``workers / delay`` req/s; 32 closed-loop
+    workers cycling *distinct* request keys (cores vary, so neither
+    single-flight nor the result LRU can absorb the load) then offer
+    several times the queue can hold.  The contract under test:
+    everything not served is a well-formed 429 + Retry-After.
+    """
+    from repro.service.engine import PredictionEngine
+    from repro.service.server import BackgroundServer
+    from repro.testing.faults import inject
+
+    max_queue = 8
+    concurrency = 32
+    engine = PredictionEngine(store=None)
+    with BackgroundServer(
+        engine=engine, workers=2, max_queue=max_queue,
+    ) as server:
+        with ServiceClient(port=server.port) as warm:
+            warm.predict(benchmark=benchmark, scale=scale)
+
+        def call(client: ServiceClient, worker_id: int, i: int) -> dict:
+            cores = 1 + ((worker_id * 7 + i) % 16)
+            return client.predict(
+                benchmark=benchmark, scale=scale, cores=cores,
+                retries=0,
+            )
+
+        with inject("engine.compute", delay_s=0.02):
+            drive = _drive(
+                "127.0.0.1", server.port, call,
+                duration_s=duration_s, concurrency=concurrency,
+                retries=0,
+            )
+        with ServiceClient(port=server.port) as probe:
+            health = probe.healthz()
+    ok = drive["ok"]
+    return {
+        "scenario": "stampede",
+        "concurrency": concurrency,
+        "max_queue": max_queue,
+        "overload_factor": (
+            drive["attempts"] / ok if ok else float(drive["attempts"])
+        ),
+        **drive,
+        "server_shed": health["admission"]["shed"],
+        "server_queue_depth_max": max_queue,
+    }
+
+
+def _scenario_slow_engine(
+    benchmark: str, scale: float, duration_s: float
+) -> Dict:
+    """Engine running ~10x past the request deadline.
+
+    Every computing request must end in a ``503`` that echoes the
+    deadline — never a hang, never a raw socket error — and queued
+    work abandoned by its timed-out waiter must be reaped before it
+    wastes an engine worker.
+    """
+    from repro.service.engine import PredictionEngine
+    from repro.service.server import BackgroundServer
+    from repro.testing.faults import inject
+
+    deadline_ms = 100.0
+    concurrency = 8
+    engine = PredictionEngine(store=None)
+    with BackgroundServer(
+        engine=engine, workers=2, deadline_ms=deadline_ms,
+    ) as server:
+        with ServiceClient(port=server.port) as warm:
+            warm.predict(benchmark=benchmark, scale=scale)
+
+        def call(client: ServiceClient, worker_id: int, i: int) -> dict:
+            cores = 1 + ((worker_id * 5 + i) % 8)
+            return client.predict(
+                benchmark=benchmark, scale=scale, cores=cores,
+                retries=0,
+            )
+
+        with inject("engine.compute", delay_s=0.25):
+            drive = _drive(
+                "127.0.0.1", server.port, call,
+                duration_s=duration_s, concurrency=concurrency,
+                retries=0,
+            )
+        with ServiceClient(port=server.port) as probe:
+            health = probe.healthz()
+    return {
+        "scenario": "slow_engine",
+        "concurrency": concurrency,
+        "deadline_ms": deadline_ms,
+        **drive,
+        "server_deadline_expired": health["admission"][
+            "deadline_expired"
+        ],
+        "coalescer_abandoned": health["coalescer"]["abandoned"],
+    }
+
+
+def _scenario_kill_mid_burst(
+    benchmark: str, scale: float, duration_s: float
+) -> Dict:
+    """Graceful shutdown fired in the middle of live traffic.
+
+    Workers keep hammering through the drain and past the listener's
+    death.  Acceptable outcomes: success (drained in-flight work),
+    503 (refused while draining) or a connection error (listener
+    gone).  No worker may hang and nothing may be unexplained.
+    """
+    from repro.service.engine import PredictionEngine
+    from repro.service.server import BackgroundServer
+
+    concurrency = 8
+    engine = PredictionEngine(store=None)
+    server = BackgroundServer(
+        engine=engine, workers=2, drain_timeout=2.0,
+    ).start()
+    kill_at_s = duration_s / 2
+    killer = threading.Timer(
+        kill_at_s, lambda: server.stop(drain=True)
+    )
+    try:
+        with ServiceClient(port=server.port) as warm:
+            warm.predict(benchmark=benchmark, scale=scale)
+
+        def call(client: ServiceClient, worker_id: int, i: int) -> dict:
+            return client.predict(
+                benchmark=benchmark, scale=scale,
+                cores=1 + (i % 4), retries=0,
+            )
+
+        killer.start()
+        drive = _drive(
+            "127.0.0.1", server.port, call,
+            duration_s=duration_s, concurrency=concurrency,
+            retries=0, join_grace_s=10.0,
+        )
+    finally:
+        killer.cancel()
+        try:
+            server.stop()
+        except RuntimeError:
+            pass  # already stopped by the killer
+    return {
+        "scenario": "kill_mid_burst",
+        "concurrency": concurrency,
+        "killed_at_s": kill_at_s,
+        **drive,
+    }
+
+
+def run_overload_scenarios(
+    quick: bool = False,
+    benchmark: str = "rodinia.nn",
+    scale: float = 0.25,
+) -> Dict[str, Dict]:
+    """All chaos/overload scenarios; keyed records for schema 2."""
+    duration_s = 1.2 if quick else 2.5
+    return {
+        "stampede": _scenario_stampede(benchmark, scale, duration_s),
+        "slow_engine": _scenario_slow_engine(
+            benchmark, scale, duration_s
+        ),
+        "kill_mid_burst": _scenario_kill_mid_burst(
+            benchmark, scale, duration_s
+        ),
+    }
+
+
+__all__ = [
+    "SERVICE_BENCH_SCHEMA",
+    "run_loadgen",
+    "run_overload_scenarios",
+]

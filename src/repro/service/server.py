@@ -8,9 +8,30 @@ work happens on a thread pool behind the
 identical in-flight requests (single-flight) and ships distinct ones
 to the engine in micro-batches.
 
+Overload safety (the serving plane degrades, it does not collapse):
+
+* **Admission control** — a bounded queue in front of the coalescer
+  (``max_queue`` distinct requests admitted at once).  Overflow is
+  shed immediately with ``429 Too Many Requests`` plus a
+  ``Retry-After`` header derived from the coalescer's EWMA service
+  time, so clients back off instead of piling on.
+* **Deadlines** — every compute request carries a deadline (server
+  default ``deadline_ms``, tightened per request via an
+  ``X-Deadline-Ms`` header).  Expiry returns ``503`` with the
+  deadline echoed; queued work whose last waiter timed out is
+  reaped before it ever reaches the engine.
+* **Disconnect cancellation** — a client hanging up mid-request
+  cancels the in-flight wait (and the queued work, if nobody else
+  shares it via single-flight).
+* **Graceful drain** — shutdown stops the listener first, lets
+  admitted work finish for up to ``drain_timeout`` seconds (new
+  compute requests are refused with 503 while draining), then closes
+  connections.
+
 Endpoints::
 
-    GET  /healthz                         liveness + engine/coalescer stats
+    GET  /healthz                         liveness + engine/admission
+                                          stats + error budget
     GET  /v1/profiles                     resident + persisted profiles
     GET|POST /v1/predict                  RPPM prediction
     GET|POST /v1/compare                  prediction vs. simulation
@@ -25,14 +46,22 @@ list / JSON array; default: all Table IV points).
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
+import math
+import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.service.batching import Coalescer
-from repro.service.engine import PredictionEngine, ServiceRequest
+from repro.service.engine import (
+    PredictionEngine,
+    ServiceRequest,
+    error_budget,
+)
+from repro.testing.faults import FAULTS
 
 #: Upper bound on request head + body sizes (this is a compute service,
 #: not a file store).
@@ -42,6 +71,19 @@ _MAX_BODY = 1024 * 1024
 #: arbitrarily large workload expansion on an engine worker.
 _MAX_CORES = 1024
 _MAX_SCALE = 100.0
+#: How often the connection handler polls for a client disconnect
+#: while a routed request is in flight.
+_DISCONNECT_POLL_S = 0.05
+#: Retry-After is clamped to [1, 60] seconds — long enough to matter,
+#: short enough that honest clients come back.
+_MAX_RETRY_AFTER_S = 60
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
 
 
 class PredictionService:
@@ -53,12 +95,29 @@ class PredictionService:
         host: str = "127.0.0.1",
         port: int = 8000,
         workers: int = 2,
+        max_queue: int = 64,
+        deadline_ms: Optional[float] = None,
+        drain_timeout: float = 5.0,
     ) -> None:
         self.engine = engine if engine is not None else PredictionEngine()
         self.host = host
         self.port = port
         self.workers = max(1, workers)
+        self.max_queue = max(1, max_queue)
+        self.deadline_ms = deadline_ms
+        self.drain_timeout = drain_timeout
         self.requests_served = 0
+        #: Requests shed by admission control (well-formed 429s).
+        self.shed = 0
+        #: Requests whose deadline expired while queued or computing.
+        self.deadline_expired = 0
+        #: In-flight requests cancelled by a client disconnect.
+        self.disconnects = 0
+        #: Responses that failed to reach the client (resets mid-send).
+        self.response_failures = 0
+        #: True once shutdown began: compute requests get 503.
+        self.draining = False
+        self._active_requests = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._coalescer: Optional[Coalescer] = None
@@ -82,11 +141,28 @@ class PredictionService:
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
+    async def stop(self, drain: Optional[bool] = True) -> None:
+        """Graceful shutdown: refuse, drain, then close.
+
+        The listener closes first (no new connections), ``draining``
+        flips so keep-alive connections get 503 for new compute work,
+        and admitted work gets up to ``drain_timeout`` seconds to
+        finish and flush its responses before connections are torn
+        down.  ``drain=False`` skips the wait (abrupt stop — the
+        chaos harness's kill switch).
+        """
+        self.draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain and self._coalescer is not None:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.drain_timeout
+            while loop.time() < deadline and (
+                self._coalescer.depth() > 0 or self._active_requests > 0
+            ):
+                await asyncio.sleep(0.02)
         # Shake off idle keep-alive connections so their handler tasks
         # exit before the event loop is torn down.
         for writer in list(self._connections):
@@ -103,17 +179,41 @@ class PredictionService:
             await self._server.serve_forever()
 
     def run(self) -> None:
-        """Blocking entry point for ``python -m repro serve``."""
+        """Blocking entry point for ``python -m repro serve``.
+
+        SIGINT/SIGTERM trigger a graceful drain instead of tearing the
+        loop down mid-request.
+        """
 
         async def _main():
             await self.start()
+            loop = asyncio.get_running_loop()
+            stopping = asyncio.Event()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(
+                    NotImplementedError, RuntimeError, ValueError
+                ):
+                    loop.add_signal_handler(sig, stopping.set)
             print(
                 f"repro service listening on "
                 f"http://{self.host}:{self.port} "
-                f"({self.workers} engine workers)",
+                f"({self.workers} engine workers, "
+                f"queue {self.max_queue}, "
+                f"deadline "
+                f"{self.deadline_ms or 'none'} ms)",
                 flush=True,
             )
-            await self._server.serve_forever()
+            serve = asyncio.ensure_future(self._server.serve_forever())
+            await stopping.wait()
+            print(
+                f"repro service draining "
+                f"(<= {self.drain_timeout:.1f}s) ...",
+                flush=True,
+            )
+            serve.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serve
+            await self.stop()
 
         try:
             asyncio.run(_main())
@@ -155,16 +255,28 @@ class PredictionService:
                         body = await reader.readexactly(length)
                     except asyncio.IncompleteReadError:
                         break
-                status, payload = await self._route(method, target, body)
-                self.requests_served += 1
-                keep = headers.get("connection", "").lower() != "close"
-                await self._respond(
-                    writer, status, payload, close=not keep
-                )
+                self._active_requests += 1
+                try:
+                    routed = await self._route_watched(
+                        reader, writer, method, target, headers, body
+                    )
+                    if routed is None:
+                        break  # client went away mid-request
+                    status, payload, extra = routed
+                    self.requests_served += 1
+                    keep = (
+                        headers.get("connection", "").lower() != "close"
+                    )
+                    await self._respond(
+                        writer, status, payload, close=not keep,
+                        extra_headers=extra,
+                    )
+                finally:
+                    self._active_requests -= 1
                 if not keep:
                     break
         except (ConnectionResetError, BrokenPipeError):
-            pass
+            self.response_failures += 1
         except asyncio.CancelledError:
             pass  # event-loop teardown mid-request
         finally:
@@ -178,61 +290,164 @@ class PredictionService:
             ):
                 pass
 
+    async def _route_watched(
+        self, reader, writer, method, target, headers, body
+    ) -> Optional[Tuple[int, dict, Dict[str, str]]]:
+        """Route a request while watching for a client disconnect.
+
+        Returns ``None`` when the client hung up first — the routed
+        work is cancelled (which also reaps it from the admission
+        queue if no other single-flight waiter shares it).
+        """
+        route_task = asyncio.ensure_future(
+            self._route(method, target, headers, body)
+        )
+        try:
+            while True:
+                done, _ = await asyncio.wait(
+                    {route_task}, timeout=_DISCONNECT_POLL_S
+                )
+                if done:
+                    return route_task.result()
+                if reader.at_eof() or writer.is_closing():
+                    self.disconnects += 1
+                    route_task.cancel()
+                    with contextlib.suppress(
+                        asyncio.CancelledError, Exception
+                    ):
+                        await route_task
+                    return None
+        except asyncio.CancelledError:
+            route_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await route_task
+            raise
+
     async def _respond(
-        self, writer, status: int, payload: dict, close: bool
+        self, writer, status: int, payload: dict, close: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode()
-        reason = {
-            200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 413: "Payload Too Large",
-            500: "Internal Server Error",
-        }.get(status, "Error")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'close' if close else 'keep-alive'}\r\n"
-            f"\r\n"
-        ).encode()
-        writer.write(head + body)
+        reason = _REASONS.get(status, "Error")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode()
+        # Chaos hook: may raise (simulating a peer reset mid-write) or
+        # mutate the wire bytes (exercising client protocol handling).
+        writer.write(FAULTS.fire("server.respond", head + body))
         await writer.drain()
 
     # -- routing ------------------------------------------------------------
 
+    def _retry_after(self) -> int:
+        """Seconds a shed client should wait before retrying."""
+        estimate = self._coalescer.estimate_wait_s(extra=1)
+        return max(1, min(_MAX_RETRY_AFTER_S, math.ceil(estimate)))
+
     async def _route(
-        self, method: str, target: str, body: bytes
-    ) -> Tuple[int, dict]:
+        self, method: str, target: str, headers: dict, body: bytes
+    ) -> Tuple[int, dict, Dict[str, str]]:
         parts = urlsplit(target)
         path = parts.path.rstrip("/") or "/"
         if path == "/healthz":
             if method != "GET":
-                return 405, {"error": "use GET"}
-            return 200, self._health()
+                return 405, {"error": "use GET"}, {}
+            return 200, self._health(), {}
         if path == "/v1/profiles":
             if method != "GET":
-                return 405, {"error": "use GET"}
-            return 200, self.engine.profiles()
+                return 405, {"error": "use GET"}, {}
+            return 200, self.engine.profiles(), {}
         if path in ("/v1/predict", "/v1/compare", "/v1/sweep"):
             if method not in ("GET", "POST"):
-                return 405, {"error": "use GET or POST"}
+                return 405, {"error": "use GET or POST"}, {}
             try:
                 request = _build_request(path.rsplit("/", 1)[1],
                                          parts.query, body)
+                deadline_ms = _deadline_ms(headers, self.deadline_ms)
             except ValueError as exc:
-                return 400, {"error": str(exc)}
-            return await self._coalescer.submit(request.key(), request)
-        return 404, {"error": f"no route for {path}"}
+                return 400, {"error": str(exc)}, {}
+            return await self._admit(request, deadline_ms)
+        return 404, {"error": f"no route for {path}"}, {}
+
+    async def _admit(
+        self, request: ServiceRequest, deadline_ms: Optional[float]
+    ) -> Tuple[int, dict, Dict[str, str]]:
+        """Admission control + deadline around the coalescer."""
+        if self.draining:
+            return 503, {"error": "service is draining"}, {
+                "Retry-After": str(_MAX_RETRY_AFTER_S),
+            }
+        key = request.key()
+        # A request identical to one already in flight rides along via
+        # single-flight for free — only *distinct* work is bounded.
+        if (
+            self._coalescer.depth() >= self.max_queue
+            and key not in self._coalescer._inflight
+        ):
+            self.shed += 1
+            retry_after = self._retry_after()
+            return 429, {
+                "error": "service overloaded, retry later",
+                "queue_depth": self._coalescer.depth(),
+                "max_queue": self.max_queue,
+                "retry_after_s": retry_after,
+            }, {"Retry-After": str(retry_after)}
+        submit = self._coalescer.submit(key, request)
+        try:
+            if deadline_ms is not None:
+                status, payload = await asyncio.wait_for(
+                    submit, timeout=deadline_ms / 1e3
+                )
+            else:
+                status, payload = await submit
+        except asyncio.TimeoutError:
+            self.deadline_expired += 1
+            retry_after = self._retry_after()
+            return 503, {
+                "error": "deadline exceeded",
+                "deadline_ms": deadline_ms,
+                "retry_after_s": retry_after,
+            }, {"Retry-After": str(retry_after)}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # An engine batch failing wholesale (injected chaos, engine
+            # bug) must degrade to a typed 500, never a hung socket.
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+        return status, payload, {}
 
     def _health(self) -> dict:
+        engine_health = self.engine.health()
+        admission = {
+            "max_queue": self.max_queue,
+            "queue_depth": (
+                self._coalescer.depth()
+                if self._coalescer is not None else 0
+            ),
+            "deadline_ms": self.deadline_ms,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "disconnects": self.disconnects,
+            "response_failures": self.response_failures,
+            "draining": self.draining,
+        }
         return {
-            "status": "ok",
+            "status": "draining" if self.draining else "ok",
             "workers": self.workers,
             "requests_served": self.requests_served,
-            "engine": self.engine.health(),
+            "engine": engine_health,
             "coalescer": (
                 self._coalescer.stats()
                 if self._coalescer is not None else {}
             ),
+            "admission": admission,
+            "error_budget": error_budget(engine_health, admission),
         }
 
 
@@ -252,6 +467,28 @@ def _parse_head(head: bytes) -> Optional[Tuple[str, str, dict]]:
             return None
         headers[name.strip().lower()] = value.strip()
     return method.upper(), target, headers
+
+
+def _deadline_ms(
+    headers: dict, default_ms: Optional[float]
+) -> Optional[float]:
+    """Effective request deadline: server default, client-tightened.
+
+    A client may *tighten* the server deadline via ``X-Deadline-Ms``
+    but never extend it — the server bound is the operator's SLA.
+    """
+    raw = headers.get("x-deadline-ms")
+    if raw is None:
+        return default_ms
+    try:
+        requested = float(raw)
+    except ValueError:
+        raise ValueError("X-Deadline-Ms must be a number")
+    if not requested > 0:
+        raise ValueError("X-Deadline-Ms must be positive")
+    if default_ms is None:
+        return requested
+    return min(requested, default_ms)
 
 
 def _build_request(
@@ -309,6 +546,11 @@ class BackgroundServer:
 
         with BackgroundServer(engine=engine) as server:
             client = ServiceClient(port=server.port)
+
+    ``boot_timeout`` / ``join_timeout`` bound how long :meth:`start`
+    waits for the server thread to come up and :meth:`stop` waits for
+    it to exit; both raise a :class:`RuntimeError` naming the failure
+    instead of silently proceeding.
     """
 
     def __init__(
@@ -317,15 +559,25 @@ class BackgroundServer:
         host: str = "127.0.0.1",
         port: int = 0,
         workers: int = 2,
+        max_queue: int = 64,
+        deadline_ms: Optional[float] = None,
+        drain_timeout: float = 5.0,
+        boot_timeout: float = 30.0,
+        join_timeout: float = 10.0,
     ) -> None:
         self.service = PredictionService(
-            engine=engine, host=host, port=port, workers=workers
+            engine=engine, host=host, port=port, workers=workers,
+            max_queue=max_queue, deadline_ms=deadline_ms,
+            drain_timeout=drain_timeout,
         )
+        self.boot_timeout = boot_timeout
+        self.join_timeout = join_timeout
         self.port: Optional[int] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
+        self._drain_on_stop = True
         self._error: Optional[BaseException] = None
 
     def start(self) -> "BackgroundServer":
@@ -333,8 +585,13 @@ class BackgroundServer:
             target=self._run, name="repro-service", daemon=True
         )
         self._thread.start()
-        if not self._ready.wait(timeout=30):
-            raise RuntimeError("service failed to start within 30s")
+        if not self._ready.wait(timeout=self.boot_timeout):
+            raise RuntimeError(
+                f"service thread {self._thread.name!r} failed to "
+                f"become ready within boot_timeout="
+                f"{self.boot_timeout:.1f}s (still "
+                f"{'alive' if self._thread.is_alive() else 'dead'})"
+            )
         if self._error is not None:
             raise RuntimeError(
                 f"service failed to start: {self._error}"
@@ -357,13 +614,21 @@ class BackgroundServer:
         try:
             await self._stop.wait()
         finally:
-            await self.service.stop()
+            await self.service.stop(drain=self._drain_on_stop)
 
-    def stop(self) -> None:
+    def stop(self, drain: bool = True) -> None:
+        """Stop the server thread (graceful drain unless ``drain=False``)."""
+        self._drain_on_stop = drain
         if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop.set)
         if self._thread is not None:
-            self._thread.join(timeout=10)
+            self._thread.join(timeout=self.join_timeout)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    f"service thread {self._thread.name!r} failed to "
+                    f"stop within join_timeout={self.join_timeout:.1f}s"
+                )
             self._thread = None
 
     def __enter__(self) -> "BackgroundServer":

@@ -1,0 +1,12 @@
+"""Test-support instrumentation shipped with the production tree.
+
+:mod:`repro.testing.faults` is the chaos harness: named fault points
+compiled into the store and the serving plane, armed by tests (or an
+operator drill) to prove that every failure mode — store I/O errors,
+bit-flipped payloads, slow engine calls, connection resets, crashes
+mid-write — degrades to a typed, counted, recoverable state.
+"""
+
+from repro.testing.faults import FAULTS, FaultInjector, SimulatedCrash, inject
+
+__all__ = ["FAULTS", "FaultInjector", "SimulatedCrash", "inject"]

@@ -390,10 +390,14 @@ class TestConcurrentServing:
                 benchmark="rodinia.nn", scale=SCALE,
                 duration_s=0.4, concurrency=4,
             )
-        assert record["schema"] == 1
+        assert record["schema"] == 2
         assert record["requests"] > 0
+        assert record["ok"] == record["requests"]
         assert record["errors"] == 0
+        assert record["unexplained_errors"] == 0
+        assert record["hung_workers"] == 0
         assert record["throughput_rps"] > 0
+        assert record["goodput_rps"] == record["throughput_rps"]
         assert 0.0 <= record["cache_hit_rate"] <= 1.0
         assert record["latency_ms"]["p50"] <= record["latency_ms"]["p99"]
 
@@ -406,13 +410,16 @@ class TestServiceBench:
         out = tmp_path / "BENCH_service.json"
         record = run_service_bench(
             quick=True, output=str(out), duration_s=0.4,
-            concurrency=4, scale=SCALE,
+            concurrency=4, scale=SCALE, overload=False,
         )
         on_disk = json.loads(out.read_text())
+        assert on_disk["schema"] == 2
         assert on_disk["mode"] == "quick"
-        assert on_disk["requests"] == record["requests"]
-        # Floors are enforced in CI via `repro bench --quick --check`;
-        # here only the record shape and the error floor.
+        assert on_disk["warm"]["requests"] == record["warm"]["requests"]
+        # Floors are enforced in CI via `repro bench --quick --check`
+        # (with the overload scenarios); here only the record shape
+        # and the error floors.
         assert not [
-            f for f in check_service(record) if "error rate" in f
+            f for f in check_service(record)
+            if "error rate" in f or "unexplained" in f
         ]
