@@ -15,12 +15,16 @@ import pytest
 
 from repro.experiments.bench import (
     check_bench,
+    expand_suite,
     extract_ilp_pools,
+    extract_replay_programs,
     extract_streams,
     render_bench,
     run_profiler_bench,
     _run_ilp_batch,
     _run_ilp_scalar,
+    _run_replay_batched,
+    _run_replay_spec,
     _run_scalar,
     _run_vectorized,
 )
@@ -84,6 +88,59 @@ def test_bench_ilp_prediction_grid(benchmark, ilp_pools):
 def test_bench_ilp_scalar_spec(benchmark, ilp_pools):
     benchmark.pedantic(
         _run_ilp_scalar, args=(ilp_pools,), rounds=2, iterations=1
+    )
+
+
+@pytest.fixture(scope="module")
+def replay_cases():
+    return extract_replay_programs(expand_suite(rodinia_suite(), 1.0))
+
+
+def test_bench_replay_batched(benchmark, replay_cases):
+    benchmark.pedantic(
+        _run_replay_batched, args=(replay_cases,), rounds=5,
+        iterations=1,
+    )
+
+
+def test_bench_replay_spec(benchmark, replay_cases):
+    benchmark.pedantic(
+        _run_replay_spec, args=(replay_cases,), rounds=5, iterations=1
+    )
+
+
+def test_bench_profiler_fast_path(benchmark):
+    """Session-warm suite profiling — the steady state the
+    suite_min_ips floor gates."""
+    from repro.core.session import Session
+    from repro.experiments.suites import build_workload
+    from repro.profiler.profiler import profile_workload
+
+    session = Session.ephemeral()
+    specs = [build_workload(ref, 1.0) for ref in rodinia_suite()]
+    for spec in specs:
+        profile_workload(session.traces.get(spec), session=session)
+    benchmark.pedantic(
+        lambda: [
+            profile_workload(session.traces.get(s), session=session)
+            for s in specs
+        ],
+        rounds=5, iterations=1,
+    )
+
+
+def test_bench_profiler_reference(benchmark):
+    """The preserved per-chunk profiler spec on the same traces."""
+    from repro.experiments.store import TraceCache
+    from repro.experiments.suites import build_workload
+    from repro.profiler.profiler import profile_workload_reference
+
+    cache = TraceCache()
+    specs = [build_workload(ref, 1.0) for ref in rodinia_suite()]
+    traces = [cache.get(spec) for spec in specs]
+    benchmark.pedantic(
+        lambda: [profile_workload_reference(t) for t in traces],
+        rounds=2, iterations=1,
     )
 
 

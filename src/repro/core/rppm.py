@@ -11,6 +11,7 @@ stacks compare directly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -18,7 +19,7 @@ from repro.arch.config import MulticoreConfig
 from repro.core.cpi_stack import CPIStack
 from repro.core.epoch_model import EpochCostCache, predict_epoch_cycles
 from repro.profiler.profile import WorkloadProfile
-from repro.runtime.scheduler import run_schedule
+from repro.runtime.scheduler import run_schedule_batched
 from repro.runtime.timeline import Timeline
 
 
@@ -59,16 +60,31 @@ class PredictionResult:
 def predict(
     profile: WorkloadProfile,
     config: MulticoreConfig,
+    session=None,
+    *,
     cache: Optional[EpochCostCache] = None,
 ) -> PredictionResult:
     """Predict multithreaded execution on ``config`` from ``profile``.
 
-    ``cache`` lets long-lived callers (the serving engine) keep the
+    ``session`` (a :class:`repro.core.session.Session`) keeps the
     per-(thread, pool) Eq.-1 memo resident across calls for the same
     (profile, config) pair — the memo is read/extend-only, so reuse is
-    safe and repeat predictions skip every Eq.-1 evaluation.  It must
-    have been built for this exact profile and config.
+    safe and repeat predictions skip every Eq.-1 evaluation.
+
+    .. deprecated::
+        ``cache=`` (a manually managed :class:`EpochCostCache`) is a
+        deprecated shim kept for one release; pass a ``session``.
     """
+    if cache is not None:
+        warnings.warn(
+            "predict(cache=...) is deprecated; pass "
+            "session=Session(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if cache is None and session is not None:
+        cache = session.cost_cache(profile, config)
+        session.record("predictions")
     if cache is None:
         cache = EpochCostCache(profile, config)
 
@@ -84,16 +100,14 @@ def predict(
         durations.append(per_segment)
 
     # Phase 2: symbolic execution of the synchronization structure
-    # (Algorithm 2) over the predicted per-epoch times.
+    # (Algorithm 2) over the predicted per-epoch times.  The epoch
+    # times are all known up front, so the replay advances in batched
+    # strides between synchronization points.
     programs = [
         [segment.event for segment in thread.segments]
         for thread in profile.threads
     ]
-
-    def execute(tid: int, idx: int, start: float) -> float:
-        return durations[tid][idx]
-
-    schedule = run_schedule(programs, execute)
+    schedule = run_schedule_batched(programs, durations)
 
     threads = []
     for thread in profile.threads:

@@ -10,6 +10,7 @@ the more-threads-than-cores future work.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -72,6 +73,8 @@ def run_scaling_curve(
     thread_counts: Sequence[int] = THREAD_COUNTS,
     config: Optional[MulticoreConfig] = None,
     scale: float = 1.0,
+    session=None,
+    *,
     trace_cache: Optional[TraceCache] = None,
 ) -> ScalingCurve:
     """Predicted and simulated scaling of one Rodinia benchmark.
@@ -84,7 +87,22 @@ def run_scaling_curve(
     The sweep is *strong scaling*: the total work is fixed at the
     largest thread count's budget and divided across however many
     threads run, so ideal speedup equals the thread count.
+
+    A :class:`~repro.core.session.Session` shares trace expansions,
+    ILP tables and segment precompute across the sweep's points (and,
+    store-backed, across runs).
+
+    .. deprecated::
+        ``trace_cache=`` is a deprecated shim kept for one release;
+        pass a ``session``.
     """
+    if trace_cache is not None:
+        warnings.warn(
+            "run_scaling_curve(trace_cache=...) is deprecated; pass "
+            "session=Session(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if benchmark not in RODINIA:
         raise ValueError(f"unknown Rodinia benchmark {benchmark!r}")
     config = config or table_iv_config("base")
@@ -97,19 +115,25 @@ def run_scaling_curve(
         )
         # Each point's trace is shared between profiling and
         # simulation via the local below and freed when it rebinds; a
-        # caller-supplied TraceCache additionally shares points across
-        # sweeps (and, store-backed, across runs) at the cost of
-        # retaining them in its LRU.
+        # session (or caller-supplied TraceCache) additionally shares
+        # points across sweeps (and, store-backed, across runs) at the
+        # cost of retaining them in its LRU.
         if trace_cache is not None:
             trace = trace_cache.get(spec)
+        elif session is not None:
+            trace = session.traces.get(spec)
         else:
             trace = engine_expand(spec)
-        profile = profile_workload(trace)
+        profile = profile_workload(trace, session=session)
         points.append(
             ScalingPoint(
                 threads=threads,
-                predicted_cycles=predict(profile, config).total_cycles,
-                simulated_cycles=simulate(trace, config).total_cycles,
+                predicted_cycles=predict(
+                    profile, config, session=session
+                ).total_cycles,
+                simulated_cycles=simulate(
+                    trace, config, session=session
+                ).total_cycles,
             )
         )
     return ScalingCurve(benchmark=benchmark, points=points)

@@ -189,6 +189,21 @@ class ProfileStore:
         self.strict = strict
         self.counters = StoreCounters()
 
+    @classmethod
+    def open_default(
+        cls, root: Optional[os.PathLike] = None
+    ) -> "ProfileStore":
+        """The canonical durable store: best-effort writes at the
+        default root (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+
+        Non-strict because cache persistence must never abort the
+        computation being cached — an unwritable root degrades to a
+        read-only store with ``dropped_writes`` counted.  This is the
+        constructor behind :meth:`repro.core.session.Session.from_store`,
+        the CLI and the serving engine.
+        """
+        return cls(root=root, strict=False)
+
     # -- keys ---------------------------------------------------------------
 
     @staticmethod

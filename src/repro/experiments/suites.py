@@ -27,8 +27,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.config import MulticoreConfig
 from repro.core.rppm import PredictionResult, predict
-from repro.experiments.store import ProfileStore, TraceCache
-from repro.profiler.ilp_batch import ILPTableCache
+from repro.core.session import Session
+from repro.experiments.store import ProfileStore
 from repro.profiler.profile import WorkloadProfile
 from repro.profiler.profiler import profile_workload
 from repro.simulator.multicore import simulate
@@ -146,19 +146,21 @@ class RunCache:
         scale: float = 1.0,
         store: Optional[ProfileStore] = None,
         chunk: int = 4096,
+        session: Optional[Session] = None,
     ):
         self.scale = scale
-        self.store = store
         self.chunk = chunk
-        #: Per-pool ILP tables are configuration-independent, so one
-        #: content-addressed memo serves the whole design space (and,
-        #: with a store, every later run).
-        self.ilp_cache = ILPTableCache(store)
-        #: Expanded traces, content-addressed by the full spec and
-        #: shared with the store's ``"traces"`` kind: profiling and
-        #: simulating a benchmark pays expansion once per process —
-        #: and, with a store, once per machine.
-        self.traces = TraceCache(store=store)
+        #: The artifact cache plane: content-addressed traces, per-pool
+        #: ILP tables, branch statistics, segment precompute and
+        #: resident Eq.-1 memos — shared by every call through this
+        #: RunCache.  A caller-supplied session shares the plane with
+        #: other harnesses (the bench suite, the serving engine).
+        if session is None:
+            session = Session(store=store)
+        elif store is not None and session.store is not store:
+            raise ValueError("pass either a store or a session, not both")
+        self.session = session
+        self.store = session.store
         self._specs: Dict[str, WorkloadSpec] = {}
         self._profiles: Dict[str, WorkloadProfile] = {}
         self._predictions: Dict[
@@ -167,6 +169,16 @@ class RunCache:
         self._simulations: Dict[
             Tuple[str, MulticoreConfig], SimulationResult
         ] = {}
+
+    @property
+    def ilp_cache(self):
+        """The session's ILP-table cache (back-compat accessor)."""
+        return self.session.ilp
+
+    @property
+    def traces(self):
+        """The session's trace cache (back-compat accessor)."""
+        return self.session.traces
 
     # -- store keys ---------------------------------------------------------
 
@@ -209,7 +221,7 @@ class RunCache:
                 profile = profile_workload(
                     self.trace(ref),
                     chunk=self.chunk,
-                    ilp_cache=self.ilp_cache,
+                    session=self.session,
                 )
                 if self.store is not None:
                     self.store.save_profile(
@@ -231,7 +243,9 @@ class RunCache:
                     )
                 )
             if result is None:
-                result = predict(self.profile(ref), config)
+                result = predict(
+                    self.profile(ref), config, session=self.session
+                )
                 if self.store is not None:
                     self.store.save_result(
                         "predictions",
@@ -254,7 +268,9 @@ class RunCache:
                     )
                 )
             if result is None:
-                result = simulate(self.trace(ref), config)
+                result = simulate(
+                    self.trace(ref), config, session=self.session
+                )
                 if self.store is not None:
                     self.store.save_result(
                         "simulations",
@@ -376,7 +392,7 @@ def shared_cache(scale: float = 1.0) -> RunCache:
             # Non-strict: save-time OSErrors (read-only root, full
             # disk) silently degrade to the in-memory cache instead
             # of aborting a computed result.
-            store: Optional[ProfileStore] = ProfileStore(strict=False)
+            store: Optional[ProfileStore] = ProfileStore.open_default()
             store.root.mkdir(parents=True, exist_ok=True)
         except OSError:
             store = None

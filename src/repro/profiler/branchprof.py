@@ -34,7 +34,10 @@ floor is bit-identical to the reference path
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -203,6 +206,78 @@ def _legacy_group_order(group_keys: np.ndarray, depth: int) -> np.ndarray:
         rev |= ((bits >> b) & 1) << (depth - 1 - b)
     legacy = ((group_keys >> depth) << depth) | rev
     return np.argsort(legacy, kind="stable")
+
+
+class BranchStatsCache:
+    """Content-addressed memo of per-pool branch statistics.
+
+    ``branch_stats`` is a pure function of the concatenated
+    (pc, taken) stream, so re-profiling a trace the session has seen
+    before can skip the shared-sort analysis entirely.  Keys hash the
+    concatenated stream content — how the stream was split into chunk
+    pieces does not matter, exactly as it does not matter to
+    :func:`branch_stats` itself.  Returned :class:`BranchStats` objects
+    are shared and must be treated as read-only (all consumers are).
+    """
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        self._memo: "OrderedDict[bytes, BranchStats]" = OrderedDict()
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(pcs: np.ndarray, taken: np.ndarray) -> bytes:
+        h = hashlib.sha256()
+        h.update(f"branch|{len(pcs)}|".encode())
+        h.update(np.ascontiguousarray(pcs).tobytes())
+        h.update(np.ascontiguousarray(taken).tobytes())
+        return h.digest()
+
+    def get(self, key: bytes) -> Optional[BranchStats]:
+        with self._lock:
+            stats = self._memo.get(key)
+            if stats is not None:
+                self._memo.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        return stats
+
+    def put(self, key: bytes, stats: BranchStats) -> None:
+        with self._lock:
+            self._memo[key] = stats
+            while len(self._memo) > self.max_entries:
+                self._memo.popitem(last=False)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._memo),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+def cached_branch_stats(
+    streams: List[Tuple[np.ndarray, np.ndarray]],
+    cache: Optional[BranchStatsCache] = None,
+    depths: Sequence[int] = DEPTH_GRID,
+) -> BranchStats:
+    """:func:`branch_stats` through an optional content-addressed memo."""
+    if cache is None:
+        return branch_stats(streams, depths)
+    pieces = [(p, t) for p, t in streams if len(p)]
+    if not pieces:
+        return branch_stats(pieces, depths)
+    pcs, taken = _concat_streams(pieces)
+    key = cache.key(pcs, taken)
+    stats = cache.get(key)
+    if stats is None:
+        stats = branch_stats([(pcs, taken)], depths)
+        cache.put(key, stats)
+    return stats
 
 
 def branch_stats(

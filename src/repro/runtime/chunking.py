@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.workloads.ir import (
     Segment,
     SyncKind,
@@ -23,23 +25,31 @@ from repro.workloads.ir import (
 _NONE_EVENT = SyncOp(SyncKind.NONE)
 
 
+def chunk_offsets(n: int, max_block: int) -> np.ndarray:
+    """Chunk boundary offsets for a segment of ``n`` micro-ops.
+
+    Returns the int64 array ``[0, max_block, 2*max_block, ..., n]`` —
+    one more entry than there are chunks.  A zero-length segment still
+    yields one (empty) chunk: pure-sync segments occupy exactly one
+    replay slot, matching :func:`chunk_trace`.
+    """
+    if max_block <= 0:
+        raise ValueError("max_block must be positive")
+    if n <= 0:
+        return np.zeros(2, dtype=np.int64)
+    offsets = np.arange(0, n, max_block, dtype=np.int64)
+    return np.append(offsets, n)
+
+
 def _split_block(block: TraceBlock, max_block: int) -> List[TraceBlock]:
     n = block.n_instructions
     if n <= max_block:
         return [block]
-    out = []
-    for lo in range(0, n, max_block):
-        hi = min(lo + max_block, n)
-        out.append(
-            TraceBlock(
-                op=block.op[lo:hi],
-                dep=block.dep[lo:hi],
-                addr=block.addr[lo:hi],
-                taken=block.taken[lo:hi],
-                iline=block.iline[lo:hi],
-            )
-        )
-    return out
+    offsets = chunk_offsets(n, max_block)
+    return [
+        block.view(int(lo), int(hi))
+        for lo, hi in zip(offsets[:-1], offsets[1:])
+    ]
 
 
 def chunk_trace(trace: WorkloadTrace, max_block: int = 4096) -> WorkloadTrace:

@@ -35,21 +35,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.arch.config import MulticoreConfig
 from repro.arch.presets import TABLE_IV, table_iv_config
-from repro.core.epoch_model import EpochCostCache
 from repro.core.rppm import PredictionResult, predict
-from repro.experiments.store import (
-    ProfileStore,
-    TraceCache,
-    config_fingerprint,
-)
+from repro.core.session import Session
+from repro.experiments.store import ProfileStore
 from repro.experiments.suites import BenchmarkRef, build_workload
-from repro.profiler.ilp_batch import ILPTableCache, KERNEL_STATS
 from repro.profiler.profile import WorkloadProfile
 from repro.profiler.profiler import profile_workload
 from repro.service.batching import LRUCache
 from repro.simulator.multicore import simulate
 from repro.testing.faults import FAULTS
-from repro.workloads.engine import ENGINE_STATS
 from repro.workloads.parsec import PARSEC
 from repro.workloads.rodinia import RODINIA
 
@@ -82,7 +76,7 @@ def default_store() -> Optional[ProfileStore]:
     so an unwritable root degrades the engine to memory-only caching.
     """
     try:
-        store = ProfileStore(strict=False)
+        store = ProfileStore.open_default()
         store.root.mkdir(parents=True, exist_ok=True)
     except OSError:
         return None
@@ -140,19 +134,25 @@ class PredictionEngine:
         max_cost_caches: int = 128,
         max_results: int = 4096,
         max_trace_bytes: int = 256 << 20,
+        session: Optional[Session] = None,
     ) -> None:
-        self.store = store
-        self.chunk = chunk
-        self.ilp_cache = ILPTableCache(store)
-        #: Engine-resident expanded traces, content-addressed by the
-        #: full workload spec (store-backed ``"traces"`` kind when a
-        #: store is attached).  A cold ``/v1/compare`` pays expansion
+        #: The artifact cache plane: content-addressed traces, ILP
+        #: tables, branch statistics, segment precompute and resident
+        #: Eq.-1 memos.  A cold ``/v1/compare`` pays trace expansion
         #: once for profile + simulation; repeats pay zero.
-        self.traces = TraceCache(store=store, max_bytes=max_trace_bytes)
+        if session is None:
+            session = Session(
+                store=store,
+                max_cost_caches=max_cost_caches,
+                max_trace_bytes=max_trace_bytes,
+            )
+        elif store is not None and session.store is not store:
+            raise ValueError("pass either a store or a session, not both")
+        self.session = session
+        self.store = session.store
+        self.chunk = chunk
         #: profile store key -> (label, WorkloadProfile)
         self._profiles = LRUCache(max_profiles)
-        #: (profile key, config fingerprint) -> EpochCostCache
-        self._costs = LRUCache(max_cost_caches)
         #: request key -> finished payload (treated as immutable)
         self.results = LRUCache(max_results)
         #: (label, scale) -> workload seed (pure function; bounded like
@@ -160,6 +160,16 @@ class PredictionEngine:
         self._seeds = LRUCache(4096)
         self._lock = threading.Lock()
         self.stats = EngineStats()
+
+    @property
+    def traces(self):
+        """The session's trace cache (back-compat accessor)."""
+        return self.session.traces
+
+    @property
+    def ilp_cache(self):
+        """The session's ILP-table cache (back-compat accessor)."""
+        return self.session.ilp
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -211,23 +221,13 @@ class PredictionEngine:
             profile = profile_workload(
                 self._trace(ref, scale),
                 chunk=self.chunk,
-                ilp_cache=self.ilp_cache,
+                session=self.session,
             )
             self._bump("profiles_built")
             if self.store is not None:
                 self.store.save_profile(key, profile)
         self._profiles.put(key, (ref.label, profile))
         return key, profile
-
-    def _cost_cache(
-        self, pkey: str, profile: WorkloadProfile, config: MulticoreConfig
-    ) -> EpochCostCache:
-        ckey = (pkey, config_fingerprint(config))
-        cache = self._costs.get(ckey)
-        if cache is None:
-            cache = EpochCostCache(profile, config)
-            self._costs.put(ckey, cache)
-        return cache
 
     @staticmethod
     def _config(name: str, cores: int) -> MulticoreConfig:
@@ -262,10 +262,11 @@ class PredictionEngine:
             return cached
         ref = self._ref(benchmark)
         cfg = self._config(config, cores)
-        pkey, profile = self.profile(ref, scale)
-        result = predict(
-            profile, cfg, cache=self._cost_cache(pkey, profile, cfg)
-        )
+        _pkey, profile = self.profile(ref, scale)
+        # The session memoises the Eq.-1 cost cache per (profile,
+        # config); profiles stay resident in ``_profiles``, so repeat
+        # predictions skip every Eq.-1 evaluation.
+        result = predict(profile, cfg, session=self.session)
         self._bump("predictions_run")
         self._count("computed", "predict")
         payload = prediction_payload(result, cfg)
@@ -289,12 +290,10 @@ class PredictionEngine:
             return cached
         ref = self._ref(benchmark)
         cfg = self._config(config, cores)
-        pkey, profile = self.profile(ref, scale)
-        pred = predict(
-            profile, cfg, cache=self._cost_cache(pkey, profile, cfg)
-        )
+        _pkey, profile = self.profile(ref, scale)
+        pred = predict(profile, cfg, session=self.session)
         self._bump("predictions_run")
-        sim = simulate(self._trace(ref, scale), cfg)
+        sim = simulate(self._trace(ref, scale), cfg, session=self.session)
         self._bump("simulations_run")
         self._count("computed", "compare")
         payload = compare_payload(pred, sim, cfg)
@@ -367,26 +366,14 @@ class PredictionEngine:
             }
         stats["result_cache"] = self.results.stats()
         stats["profile_cache"] = self._profiles.stats()
-        stats["cost_cache"] = self._costs.stats()
-        # Trace-arena observability: the engine-resident trace LRU
-        # (hits/misses/bytes, store traffic) plus the process-wide
-        # columnar expansion engine's memo and arena counters —
-        # together they expose what trace expansion costs a cold
-        # request and how much the caches absorb.
-        stats["trace_cache"] = self.traces.stats()
-        stats["expand_engine"] = ENGINE_STATS.snapshot()
-        # Fused ILP kernel observability: mega-batch shape (pools,
-        # width buckets, grid fill) is process-wide; the table-cache
-        # hit ratio is this engine's — together they expose what a
-        # cold-start profile costs and how much the caches absorb.
-        kernel = KERNEL_STATS.snapshot()
-        kernel["table_cache"] = {
-            "hits": self.ilp_cache.hits,
-            "misses": self.ilp_cache.misses,
-        }
-        stats["ilp_kernel"] = kernel
+        # One consolidated block for every artifact cache the session
+        # holds — trace arena, ILP tables, branch stats, segment
+        # precompute, Eq.-1 memos, expansion-engine and ILP-kernel
+        # counters — instead of scattered per-cache fragments.
+        stats["session"] = self.session.health()
         # Store health: quarantined artifacts, dropped writes, I/O
-        # errors and the corruption streak — the error-budget inputs.
+        # errors and the corruption streak — the error-budget inputs
+        # (kept top-level so alerting needn't reach into the session).
         if self.store is not None:
             stats["store"] = self.store.health()
         return stats

@@ -12,6 +12,7 @@ where both Sniper and RPPM honour pthread semantics.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Union
 
 from repro.arch.config import MulticoreConfig
@@ -37,8 +38,30 @@ class MulticoreSimulator:
         self,
         workload: Union[WorkloadSpec, WorkloadTrace],
         chunk: int = 4096,
+        session=None,
+        *,
         trace_cache=None,
     ) -> SimulationResult:
+        if trace_cache is not None:
+            warnings.warn(
+                "run(trace_cache=...) is deprecated; pass "
+                "session=Session(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self._run(workload, chunk, session, trace_cache)
+
+    def _run(
+        self,
+        workload: Union[WorkloadSpec, WorkloadTrace],
+        chunk: int,
+        session,
+        trace_cache,
+    ) -> SimulationResult:
+        if session is not None:
+            if trace_cache is None:
+                trace_cache = session.traces
+            session.record("simulations")
         if isinstance(workload, WorkloadSpec):
             trace = (
                 trace_cache.get(workload) if trace_cache is not None
@@ -121,15 +144,28 @@ def simulate(
     workload: Union[WorkloadSpec, WorkloadTrace],
     config: MulticoreConfig,
     chunk: int = 4096,
+    session=None,
+    *,
     trace_cache=None,
 ) -> SimulationResult:
     """Simulate ``workload`` on ``config`` (convenience wrapper).
 
-    A spec ``workload`` expands through ``trace_cache`` (a
-    :class:`~repro.experiments.store.TraceCache`) when one is given —
-    so simulating after profiling the same spec reuses one expansion —
-    and through the shared columnar engine otherwise.
+    A spec ``workload`` expands through ``session``'s trace cache when
+    a :class:`~repro.core.session.Session` is given — so simulating
+    after profiling the same spec reuses one expansion — and through
+    the shared columnar engine otherwise.
+
+    .. deprecated::
+        ``trace_cache=`` is a deprecated shim kept for one release;
+        pass a ``session``.
     """
-    return MulticoreSimulator(config).run(
-        workload, chunk=chunk, trace_cache=trace_cache
+    if trace_cache is not None:
+        warnings.warn(
+            "simulate(trace_cache=...) is deprecated; pass "
+            "session=Session(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return MulticoreSimulator(config)._run(
+        workload, chunk, session, trace_cache
     )

@@ -182,6 +182,22 @@ def _layout_key(layout_seed: int, spec: EpochSpec, body_len: int) -> Tuple:
     )
 
 
+def static_block_key(layout_seed: int, spec: EpochSpec) -> Tuple:
+    """Identity of a segment's static artifacts (op/iline columns).
+
+    This is exactly the engine's code-image memo key: two blocks
+    expanded under equal keys carry bit-identical ``op`` and ``iline``
+    columns (the dynamic ``dep``/``addr``/``taken`` columns still
+    differ per segment RNG).  The expansion engine stamps it on every
+    arena block as :attr:`~repro.workloads.ir.TraceBlock.static_key`,
+    and the profiler's segment-prep cache memoizes per-key precompute
+    off it.
+    """
+    body_len = min(spec.n, spec.code_lines * spec.instrs_per_line)
+    lkey = _layout_key(layout_seed, spec, body_len)
+    return (lkey, spec.n, spec.code_lines, spec.instrs_per_line)
+
+
 def _build_static(
     layout_seed: int, spec: EpochSpec, body_len: int
 ) -> _StaticCode:
@@ -363,12 +379,18 @@ class ExpansionEngine:
                     self._layouts.popitem(last=False)
         return static
 
-    def _image(self, layout_seed: int, spec: EpochSpec) -> _CodeImage:
+    def _image(
+        self,
+        layout_seed: int,
+        spec: EpochSpec,
+        ikey: Optional[Tuple] = None,
+    ) -> _CodeImage:
         body_len = min(spec.n, spec.code_lines * spec.instrs_per_line)
         lkey = _layout_key(layout_seed, spec, body_len)
         # iline additionally depends on the (code_lines, instrs_per_line)
         # split, which body_len alone does not pin down.
-        ikey = (lkey, spec.n, spec.code_lines, spec.instrs_per_line)
+        if ikey is None:
+            ikey = (lkey, spec.n, spec.code_lines, spec.instrs_per_line)
         with self._lock:
             image = self._images.get(ikey)
             if image is not None:
@@ -432,12 +454,14 @@ class ExpansionEngine:
                         n = plan.spec.n
                         block = arena.view(offset, offset + n)
                         offset += n
+                        ikey = static_block_key(w.seed, plan.spec)
+                        block.static_key = ikey
                         jobs.append((
                             w.seed,
                             _Job(
                                 spec=plan.spec, thread_id=tid,
                                 index=idx, block=block,
-                                image=self._image(w.seed, plan.spec),
+                                image=self._image(w.seed, plan.spec, ikey),
                             ),
                         ))
                     segments.append(
@@ -561,6 +585,10 @@ def pack_trace(trace: WorkloadTrace) -> dict:
             "events": [seg.event for seg in t.segments],
             "epochs": [seg.epoch for seg in t.segments],
             "labels": [seg.label for seg in t.segments],
+            # Static-artifact identities ride along so store-loaded
+            # traces stay eligible for the profiler's segment-prep
+            # memo; payloads predating the field restore to None.
+            "skeys": [seg.block.static_key for seg in t.segments],
         })
     return {"name": trace.name, "seed": trace.seed, "threads": threads}
 
@@ -578,8 +606,9 @@ def unpack_trace(payload: dict) -> WorkloadTrace:
     for tid, t in enumerate(payload["threads"]):
         segments = []
         offset = 0
-        for n, event, epoch, label in zip(
-            t["ns"], t["events"], t["epochs"], t["labels"]
+        skeys = t.get("skeys") or [None] * len(t["ns"])
+        for n, event, epoch, label, skey in zip(
+            t["ns"], t["events"], t["epochs"], t["labels"], skeys
         ):
             if n == 0:
                 block = TraceBlock.empty()
@@ -591,6 +620,7 @@ def unpack_trace(payload: dict) -> WorkloadTrace:
                     addr=t["addr"][lo:hi],
                     taken=t["taken"][lo:hi],
                     iline=t["iline"][lo:hi],
+                    static_key=skey,
                 )
                 offset += n
             segments.append(
@@ -610,5 +640,6 @@ __all__ = [
     "expand",
     "expand_many",
     "pack_trace",
+    "static_block_key",
     "unpack_trace",
 ]

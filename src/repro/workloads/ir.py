@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -103,6 +103,16 @@ class TraceBlock:
     addr: np.ndarray  # int64 cache-line index, -1 for non-memory ops
     taken: np.ndarray  # uint8 branch outcome, 0 for non-branches
     iline: np.ndarray  # int64 instruction cache-line index
+    #: Identity of the block's *static* artifacts (op and iline
+    #: columns), set by the expansion engine: two blocks with equal
+    #: keys have bit-identical op/iline content.  ``None`` when the
+    #: producer cannot vouch for that (hand-built blocks, chunk views,
+    #: traces from stores predating the key).  Deliberately excluded
+    #: from :meth:`WorkloadTrace.content_digest` — it is a memo hint,
+    #: not content.
+    static_key: Optional[Tuple] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         n = len(self.op)
@@ -141,6 +151,21 @@ class TraceBlock:
             addr=np.full(0, -1, dtype=np.int64),
             taken=np.zeros(0, dtype=np.uint8),
             iline=np.zeros(0, dtype=np.int64),
+        )
+
+    def view(self, lo: int, hi: int) -> "TraceBlock":
+        """Zero-copy sub-block of ops ``lo..hi-1`` (arena-view helper).
+
+        The view does not inherit :attr:`static_key`: the key
+        identifies the *whole* block's static columns, which a slice
+        no longer matches.
+        """
+        return TraceBlock(
+            op=self.op[lo:hi],
+            dep=self.dep[lo:hi],
+            addr=self.addr[lo:hi],
+            taken=self.taken[lo:hi],
+            iline=self.iline[lo:hi],
         )
 
     def class_counts(self) -> np.ndarray:

@@ -228,32 +228,49 @@ class TestHTTPEndpoints:
 
     def test_healthz_exposes_kernel_and_cache_counters(self, client):
         """Cold-start observability: fused-kernel mega-batch counters
-        and the ILP table-cache hit ratio ride on ``/healthz``."""
+        and the ILP table-cache hit ratio ride on the consolidated
+        ``session`` block of ``/healthz``."""
         client.predict("rodinia.nn", scale=SCALE)  # force one profile
-        kernel = client.healthz()["engine"]["ilp_kernel"]
+        session = client.healthz()["engine"]["session"]
+        kernel = session["ilp_kernel"]
         for key in ("pools", "samples", "buckets", "batches",
                     "bucket_fill", "steps", "dispatches"):
             assert key in kernel
         assert kernel["pools"] >= 1
         assert 0.0 < kernel["bucket_fill"] <= 1.0
-        cache = kernel["table_cache"]
+        cache = session["ilp_cache"]
         assert cache["hits"] >= 0 and cache["misses"] >= 1
 
     def test_healthz_exposes_trace_cache_counters(self, client):
-        """The engine-resident trace LRU and the columnar expansion
+        """The session-resident trace LRU and the columnar expansion
         engine's memo/arena counters ride on ``/healthz``."""
         client.predict("rodinia.nn", scale=SCALE)  # force one profile
-        engine = client.healthz()["engine"]
-        tcache = engine["trace_cache"]
+        session = client.healthz()["engine"]["session"]
+        tcache = session["trace_cache"]
         for key in ("hits", "misses", "store_hits", "store_saves",
                     "evictions", "traces", "bytes"):
             assert key in tcache
         assert tcache["misses"] >= 1
-        expand = engine["expand_engine"]
+        expand = session["expand_engine"]
         for key in ("workloads", "segments", "instructions",
                     "arena_bytes", "memo_hit_rate"):
             assert key in expand
         assert expand["workloads"] >= 1
+
+    def test_healthz_session_block_is_consolidated(self, client):
+        """One ``session`` block replaces the scattered per-cache
+        fragments; the profiler-side memos ride along."""
+        client.predict("rodinia.nn", scale=SCALE)
+        engine = client.healthz()["engine"]
+        for legacy in ("trace_cache", "expand_engine", "ilp_kernel",
+                       "cost_cache"):
+            assert legacy not in engine
+        session = engine["session"]
+        for key in ("trace_cache", "ilp_cache", "branch_cache",
+                    "prep_cache", "cost_caches", "counters", "durable"):
+            assert key in session
+        assert session["prep_cache"]["misses"] >= 1
+        assert session["counters"].get("profiles", 0) >= 1
 
     def test_predict_bit_identical_to_cli(self, client, capsys):
         payload = client.predict("rodinia.nn", scale=SCALE)
