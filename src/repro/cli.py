@@ -285,9 +285,11 @@ def cmd_store(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from repro.obs import configure_logging
     from repro.service.engine import default_store
     from repro.service.server import PredictionService
 
+    configure_logging(level=args.log_level, json_mode=args.log_json)
     store = None if args.no_store else default_store()
     engine = PredictionEngine(store=store)
     PredictionService(
@@ -299,6 +301,29 @@ def cmd_serve(args) -> int:
         deadline_ms=args.deadline_ms,
         drain_timeout=args.drain_timeout,
     ).run()
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """``repro obs``: the /metrics snapshot, offline or scraped."""
+    if args.url:
+        from urllib.request import urlopen
+
+        url = args.url
+        if not url.rstrip("/").endswith("/metrics"):
+            url = url.rstrip("/") + "/metrics"
+        with urlopen(url, timeout=30.0) as response:
+            sys.stdout.write(
+                response.read().decode("utf-8", errors="replace")
+            )
+        return 0
+    from repro.obs import REGISTRY
+
+    if args.json:
+        json.dump(REGISTRY.snapshot(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(REGISTRY.render())
     return 0
 
 
@@ -426,6 +451,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max seconds graceful shutdown waits for "
                         "in-flight work before closing connections "
                         "(default 5)")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit structured logs as one JSON object per "
+                        "line instead of human-readable text")
+    p.add_argument("--log-level", default="info",
+                   choices=("debug", "info", "warning", "error"),
+                   help="log verbosity (debug adds a per-request "
+                        "access log; default info)")
+
+    p = sub.add_parser(
+        "obs",
+        help="dump the telemetry snapshot (Prometheus text format)",
+    )
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="scrape a running service's /metrics endpoint "
+                        "instead of dumping this process's registry "
+                        "(e.g. http://127.0.0.1:8000/metrics)")
+    p.add_argument("--json", action="store_true",
+                   help="JSON snapshot instead of Prometheus text "
+                        "(local registry only)")
     return parser
 
 
@@ -445,6 +489,7 @@ def main(argv: Optional[list] = None) -> int:
         "bench": cmd_bench,
         "store": cmd_store,
         "serve": cmd_serve,
+        "obs": cmd_obs,
     }
     return handlers[args.command](args)
 

@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.arch.config import MulticoreConfig
 from repro.core.cpi_stack import CPIStack
 from repro.core.epoch_model import EpochCostCache, predict_epoch_cycles
+from repro.obs import span
 from repro.profiler.profile import WorkloadProfile
 from repro.runtime.scheduler import run_schedule_batched
 from repro.runtime.timeline import Timeline
@@ -88,45 +89,46 @@ def predict(
     if cache is None:
         cache = EpochCostCache(profile, config)
 
-    # Phase 1: active cycles per segment (memoised per pool).
-    durations: List[List[float]] = []
-    stacks = [CPIStack() for _ in range(profile.n_threads)]
-    for thread in profile.threads:
-        per_segment = []
-        for segment in thread.segments:
-            cycles, stack = predict_epoch_cycles(cache, thread, segment)
-            per_segment.append(cycles)
-            stacks[thread.thread_id].add(stack)
-        durations.append(per_segment)
+    with span("predict", workload=profile.name, config=config.name):
+        # Phase 1: active cycles per segment (memoised per pool).
+        durations: List[List[float]] = []
+        stacks = [CPIStack() for _ in range(profile.n_threads)]
+        for thread in profile.threads:
+            per_segment = []
+            for segment in thread.segments:
+                cycles, stack = predict_epoch_cycles(cache, thread, segment)
+                per_segment.append(cycles)
+                stacks[thread.thread_id].add(stack)
+            durations.append(per_segment)
 
-    # Phase 2: symbolic execution of the synchronization structure
-    # (Algorithm 2) over the predicted per-epoch times.  The epoch
-    # times are all known up front, so the replay advances in batched
-    # strides between synchronization points.
-    programs = [
-        [segment.event for segment in thread.segments]
-        for thread in profile.threads
-    ]
-    schedule = run_schedule_batched(programs, durations)
+        # Phase 2: symbolic execution of the synchronization structure
+        # (Algorithm 2) over the predicted per-epoch times.  The epoch
+        # times are all known up front, so the replay advances in batched
+        # strides between synchronization points.
+        programs = [
+            [segment.event for segment in thread.segments]
+            for thread in profile.threads
+        ]
+        schedule = run_schedule_batched(programs, durations)
 
-    threads = []
-    for thread in profile.threads:
-        tid = thread.thread_id
-        stack = stacks[tid]
-        stack.sync = schedule.idle[tid]
-        threads.append(
-            ThreadPrediction(
-                thread_id=tid,
-                instructions=thread.n_instructions,
-                active_cycles=schedule.active[tid],
-                idle_cycles=schedule.idle[tid],
-                stack=stack,
+        threads = []
+        for thread in profile.threads:
+            tid = thread.thread_id
+            stack = stacks[tid]
+            stack.sync = schedule.idle[tid]
+            threads.append(
+                ThreadPrediction(
+                    thread_id=tid,
+                    instructions=thread.n_instructions,
+                    active_cycles=schedule.active[tid],
+                    idle_cycles=schedule.idle[tid],
+                    stack=stack,
+                )
             )
+        return PredictionResult(
+            workload=profile.name,
+            config=config.name,
+            total_cycles=schedule.end_time,
+            threads=threads,
+            timeline=schedule.timeline,
         )
-    return PredictionResult(
-        workload=profile.name,
-        config=config.name,
-        total_cycles=schedule.end_time,
-        threads=threads,
-        timeline=schedule.timeline,
-    )

@@ -55,6 +55,10 @@ from repro.experiments.suites import (
     build_workload,
     rodinia_suite,
 )
+from repro.obs.tracing import (
+    enabled as obs_enabled,
+    set_enabled as set_obs_enabled,
+)
 from repro.profiler.batch import replay_data, replay_fetch
 from repro.profiler.histogram import RDHistogram
 from repro.profiler.ilp import build_ilp_table
@@ -94,8 +98,11 @@ from repro.workloads.ir import OP_STORE, fetch_lines
 #: 3: adds the ``kernel`` section (fused flat-grid mega-batching:
 #: width buckets, fill ratio, per-step dispatch counts, pools/s) and
 #: raises the committed ILP floor to the fused-kernel level.
+#: 6: adds the ``obs`` section (always-on span instrumentation vs
+#: ``REPRO_OBS=off`` on the warm suite loop) and commits the
+#: obs-overhead ceiling.
 #: 2: added the ``ilp`` section (batched scoreboard vs scalar spec).
-BENCH_SCHEMA = 5
+BENCH_SCHEMA = 6
 #: Quick-mode subset: three locality personalities plus streamcluster,
 #: whose sparse address space exercises the engine's fallback path.
 QUICK_BENCHMARKS = ("hotspot", "bfs", "srad", "streamcluster")
@@ -122,6 +129,9 @@ CHECK_FLOORS: Dict[str, float] = {
     "replay_speedup": 0.5,
     "profiler_speedup": 1.5,
     "suite_min_ips": 4.0e6,
+    #: Ceiling, not floor: always-on span instrumentation may cost at
+    #: most this fraction of warm-suite wall clock vs REPRO_OBS=off.
+    "obs_max_overhead": 0.05,
 }
 
 #: Committed serving floors: warm-cache ``/v1/predict`` throughput
@@ -529,6 +539,27 @@ def run_profiler_bench(
     prep_stats = session.prep.stats()
     prep_lookups = prep_stats["hits"] + prep_stats["misses"]
 
+    # Observability overhead: the same warm suite loop with span
+    # instrumentation on vs off (what ``REPRO_OBS=off`` disables).
+    # The committed ceiling keeps always-on telemetry at <= 5% of
+    # suite throughput — stage-granular spans, never per-chunk.
+    obs_prev = obs_enabled()
+
+    def _suite_obs_on() -> None:
+        set_obs_enabled(True)
+        _suite_fast()
+
+    def _suite_obs_off() -> None:
+        set_obs_enabled(False)
+        _suite_fast()
+
+    try:
+        obs_on_s, obs_off_s = _interleaved(
+            _suite_obs_on, _suite_obs_off, max(3, reps)
+        )
+    finally:
+        set_obs_enabled(obs_prev)
+
     if profile_dump:
         # A *separate* instrumented rerun: cProfile tracing costs
         # ~20%, which must not contaminate the timed number the
@@ -615,6 +646,12 @@ def run_profiler_bench(
             "instructions": int(instructions),
             "ips": instructions / suite_s,
             "cold_ips": instructions / suite_cold_s,
+        },
+        "obs": {
+            "instrumented_s": obs_on_s,
+            "disabled_s": obs_off_s,
+            "overhead_frac": obs_on_s / obs_off_s - 1.0,
+            "max_overhead_frac": CHECK_FLOORS["obs_max_overhead"],
         },
     }
     if output:
@@ -840,6 +877,17 @@ def check_bench(result: Dict) -> List[str]:
             f"below committed floor "
             f"{CHECK_FLOORS['suite_min_ips'] / 1e6:.1f} M instr/s"
         )
+    # Obs overhead is a ratio of two timed loops: at toy --scale the
+    # fixed span cost dominates a tiny workload, so (like the absolute
+    # suite floor) it is enforced only at the committed scale.
+    obs = result.get("obs")
+    if obs is not None and result.get("scale", 1.0) >= 1.0:
+        if obs["overhead_frac"] > CHECK_FLOORS["obs_max_overhead"]:
+            failures.append(
+                f"observability overhead {obs['overhead_frac']:+.1%} "
+                f"(instrumented vs REPRO_OBS=off) above committed "
+                f"ceiling {CHECK_FLOORS['obs_max_overhead']:.0%}"
+            )
     return failures
 
 
@@ -851,6 +899,7 @@ def render_bench(result: Dict) -> str:
     e = result["expand"]
     r = result["replay"]
     s = result["suite"]
+    o = result["obs"]
     return "\n".join([
         f"profiler bench ({result['mode']}, scale={result['scale']}, "
         f"{len(result['benchmarks'])} benchmarks)",
@@ -883,4 +932,8 @@ def render_bench(result: Dict) -> str:
         f"  suite profiling      : {s['instructions']:,} micro-ops in "
         f"{s['wall_clock_s']:.2f}s warm ({s['ips'] / 1e6:.2f} M "
         f"instr/s; cold {s['cold_ips'] / 1e6:.2f} M)",
+        f"  obs overhead         : "
+        f"{o['overhead_frac']:+.1%} instrumented vs REPRO_OBS=off "
+        f"({o['instrumented_s']:.2f}s vs {o['disabled_s']:.2f}s, "
+        f"ceiling {o['max_overhead_frac']:.0%})",
     ])

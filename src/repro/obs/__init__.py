@@ -1,0 +1,69 @@
+"""Unified telemetry plane: metrics registry, spans, structured logs.
+
+Three cooperating layers, stdlib-only and always-on but cheap:
+
+- :mod:`repro.obs.metrics` — process-wide registry of counters,
+  gauges and fixed-bucket histograms with Prometheus text rendering;
+  existing counter structs stay authoritative and are projected in via
+  scrape-time collectors.
+- :mod:`repro.obs.tracing` — ``span("stage")`` context manager feeding
+  the ``repro_stage_seconds`` histogram and, per served request, a
+  trace retrievable from ``/v1/debug/trace/<id>``.
+- :mod:`repro.obs.logging` — structured event logging (human or JSON),
+  stamped with the active request id.
+
+``REPRO_OBS=off`` disables span recording; the bench's obs-overhead
+gate holds the instrumented/disabled suite-throughput delta at <=5%.
+"""
+
+from repro.obs.logging import StructLogger, configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    render_registries,
+)
+from repro.obs.tracing import (
+    TRACE_RING,
+    Trace,
+    TraceRing,
+    activate,
+    current_request_id,
+    current_trace,
+    deactivate,
+    dropped_emits,
+    enabled,
+    new_request_id,
+    new_trace,
+    set_enabled,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "render_registries",
+    "StructLogger",
+    "configure_logging",
+    "get_logger",
+    "Trace",
+    "TraceRing",
+    "TRACE_RING",
+    "span",
+    "new_trace",
+    "new_request_id",
+    "activate",
+    "deactivate",
+    "current_trace",
+    "current_request_id",
+    "enabled",
+    "set_enabled",
+    "dropped_emits",
+]

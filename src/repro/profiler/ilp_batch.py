@@ -64,6 +64,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import span
 from repro.profiler.ilp import (
     CANONICAL_LAT,
     LOAD_LAT_GRID,
@@ -739,6 +740,16 @@ def build_ilp_tables(
     width bucket for the whole miss set.  Per-pool aggregation mirrors
     the scalar :func:`~repro.profiler.ilp.build_ilp_table` exactly.
     """
+    with span("ilp.tables", pools=len(pool_samples)):
+        return _build_ilp_tables(pool_samples, windows, load_lats, cache)
+
+
+def _build_ilp_tables(
+    pool_samples: Sequence[Sequence[Sample]],
+    windows: Sequence[int],
+    load_lats: Sequence[int],
+    cache: Optional[ILPTableCache],
+) -> List[ILPTable]:
     tables: List[Optional[ILPTable]] = [None] * len(pool_samples)
     keys: List[Optional[str]] = [None] * len(pool_samples)
     todo: List[int] = []

@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs import span
 from repro.profiler.batch import replay_data, replay_fetch
 from repro.profiler.branchprof import BranchStatsCache, cached_branch_stats
 from repro.profiler.histogram import RDHistogram
@@ -512,196 +513,199 @@ def _profile_trace(
     pool_list: List[_PoolAccum] = []
     plans: List[_ThreadPlan] = []
 
-    for t in trace.threads:
-        tid = t.thread_id
-        plan = _ThreadPlan()
-        events: List = []
-        durations: List[float] = []
-        refs: List[SegmentRef] = []
-        fetch_sched: List[Tuple[int, np.ndarray]] = []
-        chunk_pool_parts: List[np.ndarray] = []
-        mem_count_parts: List[np.ndarray] = []
-        mem_addr_parts: List[np.ndarray] = []
-        mem_store_parts: List[np.ndarray] = []
+    with span("profile.prepare", threads=n_threads):
+        for t in trace.threads:
+            tid = t.thread_id
+            plan = _ThreadPlan()
+            events: List = []
+            durations: List[float] = []
+            refs: List[SegmentRef] = []
+            fetch_sched: List[Tuple[int, np.ndarray]] = []
+            chunk_pool_parts: List[np.ndarray] = []
+            mem_count_parts: List[np.ndarray] = []
+            mem_addr_parts: List[np.ndarray] = []
+            mem_store_parts: List[np.ndarray] = []
 
-        for seg in t.segments:
-            block = seg.block
-            st = prep_cache.get(block, chunk)
-            durations.extend(st.durations)
-            mem_count_parts.append(st.mem_counts)
-            if st.n == 0:
+            for seg in t.segments:
+                block = seg.block
+                st = prep_cache.get(block, chunk)
+                durations.extend(st.durations)
+                mem_count_parts.append(st.mem_counts)
+                if st.n == 0:
+                    events.append(seg.event)
+                    refs.append(SegmentRef(
+                        epoch=seg.epoch, label=seg.label, event=seg.event,
+                        n_instructions=0, key=None,
+                    ))
+                    chunk_pool_parts.append(_EMPTY_POOL)
+                    continue
+                events.extend(st.none_events)
                 events.append(seg.event)
+                keys = st.keys
+                offsets = st.offsets
+                for c in range(st.n_chunks - 1):
+                    refs.append(SegmentRef(
+                        epoch=seg.epoch, label=seg.label, event=_NONE_EVENT,
+                        n_instructions=int(offsets[c + 1] - offsets[c]),
+                        key=int(keys[c]),
+                    ))
                 refs.append(SegmentRef(
                     epoch=seg.epoch, label=seg.label, event=seg.event,
-                    n_instructions=0, key=None,
+                    n_instructions=int(offsets[-1] - offsets[-2]),
+                    key=int(keys[-1]),
                 ))
-                chunk_pool_parts.append(_EMPTY_POOL)
-                continue
-            events.extend(st.none_events)
-            events.append(seg.event)
-            keys = st.keys
-            offsets = st.offsets
-            for c in range(st.n_chunks - 1):
-                refs.append(SegmentRef(
-                    epoch=seg.epoch, label=seg.label, event=_NONE_EVENT,
-                    n_instructions=int(offsets[c + 1] - offsets[c]),
-                    key=int(keys[c]),
-                ))
-            refs.append(SegmentRef(
-                epoch=seg.epoch, label=seg.label, event=seg.event,
-                n_instructions=int(offsets[-1] - offsets[-2]),
-                key=int(keys[-1]),
-            ))
 
-            taken_br = (
-                block.taken[st.br_idx].astype(np.int64)
-                if len(st.br_idx) else None
-            )
-            seg_run_pools: List[_PoolAccum] = []
-            for run in st.runs:
-                accum = pools.get((tid, run.key))
-                if accum is None:
-                    accum = _PoolAccum(run.key, len(pool_list))
-                    pools[(tid, run.key)] = accum
-                    pool_list.append(accum)
-                seg_run_pools.append(accum)
-                accum.n_instructions += run.n_instructions
-                accum.n_segments += run.n_chunks
-                accum.class_counts += run.class_counts
-                accum.loads += run.loads
+                taken_br = (
+                    block.taken[st.br_idx].astype(np.int64)
+                    if len(st.br_idx) else None
+                )
+                seg_run_pools: List[_PoolAccum] = []
+                for run in st.runs:
+                    accum = pools.get((tid, run.key))
+                    if accum is None:
+                        accum = _PoolAccum(run.key, len(pool_list))
+                        pools[(tid, run.key)] = accum
+                        pool_list.append(accum)
+                    seg_run_pools.append(accum)
+                    accum.n_instructions += run.n_instructions
+                    accum.n_segments += run.n_chunks
+                    accum.class_counts += run.class_counts
+                    accum.loads += run.loads
 
-                n_br = int(run.br_cum[-1])
-                if n_br and accum.branch_stored < _BRANCH_CAP:
-                    # The spec appends whole chunks while the pool's
-                    # stored count is below the cap; reproduce that
-                    # chunk-granular cut, then append one merged slice.
-                    room = _BRANCH_CAP - accum.branch_stored
-                    k = int(np.searchsorted(
-                        run.br_cum[:-1], room, side="left"
-                    ))
-                    take = int(run.br_cum[k]) if k < run.n_chunks else n_br
-                    if take:
-                        lo = run.br_lo
-                        accum.branch_streams.append((
-                            st.branch_pcs[lo:lo + take],
-                            taken_br[lo:lo + take],
+                    n_br = int(run.br_cum[-1])
+                    if n_br and accum.branch_stored < _BRANCH_CAP:
+                        # The spec appends whole chunks while the pool's
+                        # stored count is below the cap; reproduce that
+                        # chunk-granular cut, then append one merged slice.
+                        room = _BRANCH_CAP - accum.branch_stored
+                        k = int(np.searchsorted(
+                            run.br_cum[:-1], room, side="left"
                         ))
-                        accum.branch_stored += take
+                        take = int(run.br_cum[k]) if k < run.n_chunks else n_br
+                        if take:
+                            lo = run.br_lo
+                            accum.branch_streams.append((
+                                st.branch_pcs[lo:lo + take],
+                                taken_br[lo:lo + take],
+                            ))
+                            accum.branch_stored += take
 
-                fetch_sched.append((
-                    accum.index,
-                    st.fetch_lines[run.fetch_lo:run.fetch_hi],
-                ))
-                accum.n_fetches += run.fetch_hi - run.fetch_lo
+                    fetch_sched.append((
+                        accum.index,
+                        st.fetch_lines[run.fetch_lo:run.fetch_hi],
+                    ))
+                    accum.n_fetches += run.fetch_hi - run.fetch_lo
 
-            chained = _chained_per_run(st, block)
-            if chained is not None:
-                for r, cnt in enumerate(chained):
-                    if cnt:
-                        seg_run_pools[r].chained_loads += int(cnt)
+                chained = _chained_per_run(st, block)
+                if chained is not None:
+                    for r, cnt in enumerate(chained):
+                        if cnt:
+                            seg_run_pools[r].chained_loads += int(cnt)
 
-            if st.ilp_entries and any(
-                len(p.ilp_samples) < ILP_SAMPLES_PER_POOL
-                for p in seg_run_pools
-            ):
-                dep = block.dep
-                for r, lo, take, op_slice in st.ilp_entries:
-                    p = seg_run_pools[r]
-                    if len(p.ilp_samples) < ILP_SAMPLES_PER_POOL:
-                        p.ilp_samples.append(
-                            (op_slice, dep[lo:lo + take].copy())
-                        )
+                if st.ilp_entries and any(
+                    len(p.ilp_samples) < ILP_SAMPLES_PER_POOL
+                    for p in seg_run_pools
+                ):
+                    dep = block.dep
+                    for r, lo, take, op_slice in st.ilp_entries:
+                        p = seg_run_pools[r]
+                        if len(p.ilp_samples) < ILP_SAMPLES_PER_POOL:
+                            p.ilp_samples.append(
+                                (op_slice, dep[lo:lo + take].copy())
+                            )
 
-            mem_addr_parts.append(block.addr[st.mem_idx])
-            mem_store_parts.append(st.mem_store)
-            pool_per_run = np.fromiter(
-                (p.index for p in seg_run_pools),
-                dtype=np.int32, count=len(seg_run_pools),
+                mem_addr_parts.append(block.addr[st.mem_idx])
+                mem_store_parts.append(st.mem_store)
+                pool_per_run = np.fromiter(
+                    (p.index for p in seg_run_pools),
+                    dtype=np.int32, count=len(seg_run_pools),
+                )
+                chunk_pool_parts.append(pool_per_run[st.run_of_chunk])
+
+            plan.events = events
+            plan.durations = durations
+            plan.refs = refs
+            plan.fetch_sched = fetch_sched
+            chunk_pool = (
+                np.concatenate(chunk_pool_parts) if chunk_pool_parts
+                else np.zeros(0, dtype=np.int32)
             )
-            chunk_pool_parts.append(pool_per_run[st.run_of_chunk])
+            plan.chunk_pool = chunk_pool
+            plan.pool_cuts = np.flatnonzero(
+                chunk_pool[1:] != chunk_pool[:-1]
+            ) + 1
+            mem_counts = (
+                np.concatenate(mem_count_parts) if mem_count_parts
+                else np.zeros(0, dtype=np.int64)
+            )
+            plan.mem_bounds = np.concatenate(
+                ([0], np.cumsum(mem_counts))
+            )
+            plan.mem_addr = (
+                np.concatenate(mem_addr_parts) if mem_addr_parts
+                else np.zeros(0, dtype=np.int64)
+            )
+            plan.mem_store = (
+                np.concatenate(mem_store_parts) if mem_store_parts
+                else np.zeros(0, dtype=bool)
+            )
+            plans.append(plan)
 
-        plan.events = events
-        plan.durations = durations
-        plan.refs = refs
-        plan.fetch_sched = fetch_sched
-        chunk_pool = (
-            np.concatenate(chunk_pool_parts) if chunk_pool_parts
-            else np.zeros(0, dtype=np.int32)
+    with span("profile.replay"):
+        # Replay: only the chunk interleaving depends on it.
+        result = run_schedule_batched(
+            [plan.events for plan in plans],
+            [plan.durations for plan in plans],
         )
-        plan.chunk_pool = chunk_pool
-        plan.pool_cuts = np.flatnonzero(
-            chunk_pool[1:] != chunk_pool[:-1]
-        ) + 1
-        mem_counts = (
-            np.concatenate(mem_count_parts) if mem_count_parts
-            else np.zeros(0, dtype=np.int64)
+
+    with span("profile.collect", pools=len(pool_list)):
+        # Emit the interleaved memory stream, one entry per maximal
+        # same-pool sub-stride (merging adjacent same-pool chunks is
+        # exactly equivalent for the batch locality engine).
+        data_schedule: List[Tuple[int, int, np.ndarray, np.ndarray]] = []
+        for tid, lo, hi in result.order:
+            plan = plans[tid]
+            cuts = plan.pool_cuts
+            chunk_pool = plan.chunk_pool
+            bounds = plan.mem_bounds
+            ci = int(np.searchsorted(cuts, lo, side="right"))
+            a = lo
+            while a < hi:
+                if ci < len(cuts) and cuts[ci] < hi:
+                    b = int(cuts[ci])
+                    ci += 1
+                else:
+                    b = hi
+                mlo = int(bounds[a])
+                mhi = int(bounds[b])
+                if mhi > mlo:
+                    data_schedule.append((
+                        tid, int(chunk_pool[a]),
+                        plan.mem_addr[mlo:mhi], plan.mem_store[mlo:mhi],
+                    ))
+                a = b
+
+        replay_data(data_schedule, n_threads, [a.locality for a in pool_list])
+        ifetch_hists = [a.ifetch for a in pool_list]
+        for plan in plans:
+            replay_fetch(plan.fetch_sched, ifetch_hists)
+
+        ilp_tables = build_ilp_tables(
+            [a.ilp_samples for a in pool_list], cache=ilp_cache
         )
-        plan.mem_bounds = np.concatenate(
-            ([0], np.cumsum(mem_counts))
-        )
-        plan.mem_addr = (
-            np.concatenate(mem_addr_parts) if mem_addr_parts
-            else np.zeros(0, dtype=np.int64)
-        )
-        plan.mem_store = (
-            np.concatenate(mem_store_parts) if mem_store_parts
-            else np.zeros(0, dtype=bool)
-        )
-        plans.append(plan)
 
-    # Replay: only the chunk interleaving depends on it.
-    result = run_schedule_batched(
-        [plan.events for plan in plans],
-        [plan.durations for plan in plans],
-    )
-
-    # Emit the interleaved memory stream, one entry per maximal
-    # same-pool sub-stride (merging adjacent same-pool chunks is
-    # exactly equivalent for the batch locality engine).
-    data_schedule: List[Tuple[int, int, np.ndarray, np.ndarray]] = []
-    for tid, lo, hi in result.order:
-        plan = plans[tid]
-        cuts = plan.pool_cuts
-        chunk_pool = plan.chunk_pool
-        bounds = plan.mem_bounds
-        ci = int(np.searchsorted(cuts, lo, side="right"))
-        a = lo
-        while a < hi:
-            if ci < len(cuts) and cuts[ci] < hi:
-                b = int(cuts[ci])
-                ci += 1
-            else:
-                b = hi
-            mlo = int(bounds[a])
-            mhi = int(bounds[b])
-            if mhi > mlo:
-                data_schedule.append((
-                    tid, int(chunk_pool[a]),
-                    plan.mem_addr[mlo:mhi], plan.mem_store[mlo:mhi],
-                ))
-            a = b
-
-    replay_data(data_schedule, n_threads, [a.locality for a in pool_list])
-    ifetch_hists = [a.ifetch for a in pool_list]
-    for plan in plans:
-        replay_fetch(plan.fetch_sched, ifetch_hists)
-
-    ilp_tables = build_ilp_tables(
-        [a.ilp_samples for a in pool_list], cache=ilp_cache
-    )
-
-    threads: List[ThreadProfile] = []
-    for t in trace.threads:
-        thread_pools = {
-            key: accum.finalize(ilp_tables[accum.index], branch_cache)
-            for (tid, key), accum in pools.items()
-            if tid == t.thread_id
-        }
-        threads.append(ThreadProfile(
-            thread_id=t.thread_id,
-            segments=plans[t.thread_id].refs,
-            pools=thread_pools,
-        ))
+        threads: List[ThreadProfile] = []
+        for t in trace.threads:
+            thread_pools = {
+                key: accum.finalize(ilp_tables[accum.index], branch_cache)
+                for (tid, key), accum in pools.items()
+                if tid == t.thread_id
+            }
+            threads.append(ThreadProfile(
+                thread_id=t.thread_id,
+                segments=plans[t.thread_id].refs,
+                pools=thread_pools,
+            ))
     return WorkloadProfile(
         name=trace.name,
         n_threads=n_threads,
@@ -768,7 +772,10 @@ def profile_workload(
         )
     else:
         trace = workload
-    return _profile_trace(trace, chunk, ilp_cache, branch_cache, prep_cache)
+    with span("profile", workload=trace.name, chunk=chunk):
+        return _profile_trace(
+            trace, chunk, ilp_cache, branch_cache, prep_cache
+        )
 
 
 def profile_workload_reference(

@@ -247,10 +247,46 @@ class ServiceClient:
             return None
         return {"X-Deadline-Ms": f"{deadline_ms:g}"}
 
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON (text) endpoint — ``/metrics``."""
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except socket.timeout:
+                self.close()
+                raise ServiceTimeout(
+                    None,
+                    {"error": f"no response within {self.timeout}s"},
+                )
+            except (
+                http.client.HTTPException, ConnectionError, OSError
+            ):
+                self.close()
+                if attempt:
+                    raise
+        if response.status >= 400:
+            raise ServiceError(
+                response.status,
+                {"error": data[:200].decode(errors="replace")},
+            )
+        return data.decode("utf-8", errors="replace")
+
     # -- endpoints ----------------------------------------------------------
 
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition document from ``/metrics``."""
+        return self._request_text("/metrics")
+
+    def debug_trace(self, trace_id: str) -> dict:
+        """Span breakdown of a recent request by its ``X-Request-Id``."""
+        return self._request("GET", f"/v1/debug/trace/{trace_id}")
 
     def profiles(self) -> dict:
         return self._request("GET", "/v1/profiles")

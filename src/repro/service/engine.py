@@ -38,6 +38,8 @@ from repro.arch.presets import TABLE_IV, table_iv_config
 from repro.core.rppm import PredictionResult, predict
 from repro.core.session import Session
 from repro.experiments.store import ProfileStore
+from repro.obs import span
+from repro.obs.tracing import activate, deactivate
 from repro.experiments.suites import BenchmarkRef, build_workload
 from repro.profiler.profile import WorkloadProfile
 from repro.profiler.profiler import profile_workload
@@ -93,6 +95,12 @@ class ServiceRequest:
     cores: int = 4
     scale: float = 1.0
     configs: Tuple[str, ...] = ()  # sweep only; () = all of Table IV
+    #: Active obs trace, carried across the executor boundary (worker
+    #: threads do not inherit contextvars).  Identity-irrelevant:
+    #: excluded from equality/hash and from :meth:`key`.
+    trace: Optional[object] = field(
+        default=None, compare=False, repr=False
+    )
 
     def key(self) -> tuple:
         """Coalescing/memo identity: every field that changes the answer."""
@@ -212,22 +220,23 @@ class PredictionEngine:
         hit = self._profiles.get(key)
         if hit is not None:
             return key, hit[1]
-        profile = None
-        if self.store is not None:
-            profile = self.store.load_profile(key)
-            if profile is not None:
-                self._bump("profiles_from_store")
-        if profile is None:
-            profile = profile_workload(
-                self._trace(ref, scale),
-                chunk=self.chunk,
-                session=self.session,
-            )
-            self._bump("profiles_built")
+        with span("engine.profile", benchmark=ref.label, scale=scale):
+            profile = None
             if self.store is not None:
-                self.store.save_profile(key, profile)
-        self._profiles.put(key, (ref.label, profile))
-        return key, profile
+                profile = self.store.load_profile(key)
+                if profile is not None:
+                    self._bump("profiles_from_store")
+            if profile is None:
+                profile = profile_workload(
+                    self._trace(ref, scale),
+                    chunk=self.chunk,
+                    session=self.session,
+                )
+                self._bump("profiles_built")
+                if self.store is not None:
+                    self.store.save_profile(key, profile)
+            self._profiles.put(key, (ref.label, profile))
+            return key, profile
 
     @staticmethod
     def _config(name: str, cores: int) -> MulticoreConfig:
@@ -382,34 +391,45 @@ class PredictionEngine:
 
     def handle(self, request: ServiceRequest) -> Tuple[int, dict]:
         """Serve one request; never raises — errors become payloads."""
+        # Re-activate the request's trace in this worker thread so the
+        # engine/profiler spans land in the serving request's timing
+        # breakdown (single-flight riders share the leader's trace).
+        token = activate(getattr(request, "trace", None))
         try:
-            # Chaos fault point: a slow or failing engine call.  The
-            # delay occupies this worker thread exactly like a real
-            # degraded engine would, which is how the overload
-            # scenarios manufacture a known, bounded capacity.
-            FAULTS.fire("engine.compute")
-            if request.kind == "predict":
-                return 200, self.predict(
-                    request.benchmark, request.config, request.cores,
-                    request.scale,
-                )
-            if request.kind == "compare":
-                return 200, self.compare(
-                    request.benchmark, request.config, request.cores,
-                    request.scale,
-                )
-            if request.kind == "sweep":
-                return 200, self.sweep(
-                    request.benchmark, request.configs, request.cores,
-                    request.scale,
-                )
-            return 400, {"error": f"unknown request kind {request.kind!r}"}
+            with span(
+                "engine", kind=request.kind, benchmark=request.benchmark
+            ):
+                # Chaos fault point: a slow or failing engine call.
+                # The delay occupies this worker thread exactly like a
+                # real degraded engine would, which is how the overload
+                # scenarios manufacture a known, bounded capacity.
+                FAULTS.fire("engine.compute")
+                if request.kind == "predict":
+                    return 200, self.predict(
+                        request.benchmark, request.config, request.cores,
+                        request.scale,
+                    )
+                if request.kind == "compare":
+                    return 200, self.compare(
+                        request.benchmark, request.config, request.cores,
+                        request.scale,
+                    )
+                if request.kind == "sweep":
+                    return 200, self.sweep(
+                        request.benchmark, request.configs, request.cores,
+                        request.scale,
+                    )
+                return 400, {
+                    "error": f"unknown request kind {request.kind!r}"
+                }
         except ServiceError as exc:
             self._bump("errors")
             return exc.status, {"error": str(exc)}
         except Exception as exc:  # engine bug: report, don't kill the batch
             self._bump("errors")
             return 500, {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            deactivate(token)
 
     def handle_batch(
         self, requests: List[ServiceRequest]

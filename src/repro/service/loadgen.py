@@ -58,6 +58,33 @@ _OUTCOMES = (
 )
 
 
+def _health_value(payload: Dict, dotted: str):
+    """Walk ``payload`` along a dotted key path with explicit errors.
+
+    The ``/healthz`` schema is registry-derived and has been renamed
+    before; a probe landing on a missing key must say *which* key and
+    what was actually there — not die with a bare ``KeyError``.
+    """
+    node = payload
+    seen = []
+    for key in dotted.split("."):
+        seen.append(key)
+        if not isinstance(node, dict):
+            raise RuntimeError(
+                f"/healthz probe: {'.'.join(seen[:-1])!r} is "
+                f"{type(node).__name__}, not an object — cannot "
+                f"descend to {dotted!r}"
+            )
+        if key not in node:
+            raise RuntimeError(
+                f"/healthz probe: no key {'.'.join(seen)!r} "
+                f"(available: {sorted(node)[:12]}); the health schema "
+                "may have been renamed — update the loadgen probe"
+            )
+        node = node[key]
+    return node
+
+
 def _classify(exc: Exception) -> str:
     """Map one failed request onto the outcome taxonomy."""
     if isinstance(exc, ServiceOverloaded):
@@ -209,13 +236,17 @@ def run_loadgen(
     with ServiceClient(host, port) as probe:
         stats1 = probe.healthz()
 
-    cache0 = stats0["engine"]["result_cache"]
-    cache1 = stats1["engine"]["result_cache"]
-    d_hits = cache1["hits"] - cache0["hits"]
-    d_lookups = d_hits + cache1["misses"] - cache0["misses"]
+    d_hits = (
+        _health_value(stats1, "engine.result_cache.hits")
+        - _health_value(stats0, "engine.result_cache.hits")
+    )
+    d_lookups = d_hits + (
+        _health_value(stats1, "engine.result_cache.misses")
+        - _health_value(stats0, "engine.result_cache.misses")
+    )
     collapsed = (
-        stats1["coalescer"]["collapsed"]
-        - stats0["coalescer"]["collapsed"]
+        _health_value(stats1, "coalescer.collapsed")
+        - _health_value(stats0, "coalescer.collapsed")
     )
     record = {
         "schema": SERVICE_BENCH_SCHEMA,
@@ -289,7 +320,7 @@ def _scenario_stampede(
             drive["attempts"] / ok if ok else float(drive["attempts"])
         ),
         **drive,
-        "server_shed": health["admission"]["shed"],
+        "server_shed": _health_value(health, "admission.shed"),
         "server_queue_depth_max": max_queue,
     }
 
@@ -337,10 +368,12 @@ def _scenario_slow_engine(
         "concurrency": concurrency,
         "deadline_ms": deadline_ms,
         **drive,
-        "server_deadline_expired": health["admission"][
-            "deadline_expired"
-        ],
-        "coalescer_abandoned": health["coalescer"]["abandoned"],
+        "server_deadline_expired": _health_value(
+            health, "admission.deadline_expired"
+        ),
+        "coalescer_abandoned": _health_value(
+            health, "coalescer.abandoned"
+        ),
     }
 
 

@@ -28,14 +28,26 @@ Overload safety (the serving plane degrades, it does not collapse):
   compute requests are refused with 503 while draining), then closes
   connections.
 
+Observability (see :mod:`repro.obs`): every response carries an
+``X-Request-Id`` (client-provided via the header of the same name, or
+generated), each request records a span trace retrievable from
+``/v1/debug/trace/<id>`` while it stays in the ring buffer, admission
+counters live in a per-service metrics registry (``/healthz`` is
+derived from it — no counter is double-sourced), and ``/metrics``
+renders the merged process + service registries in Prometheus text
+format.  Startup/drain messages go through the structured logger.
+
 Endpoints::
 
     GET  /healthz                         liveness + engine/admission
                                           stats + error budget
+    GET  /metrics                         Prometheus text exposition
     GET  /v1/profiles                     resident + persisted profiles
     GET|POST /v1/predict                  RPPM prediction
     GET|POST /v1/compare                  prediction vs. simulation
     GET|POST /v1/sweep                    one profile, many design points
+    GET  /v1/debug/trace/<id>             span breakdown of a recent
+                                          request (ring buffer)
 
 Parameters come from the query string or a JSON body (body wins):
 ``benchmark`` (required), ``config`` (default ``base``), ``cores``
@@ -47,14 +59,28 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import dataclasses
 import json
 import math
 import signal
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import get_logger, span
+from repro.obs.logging import ensure_configured
+from repro.obs.metrics import REGISTRY, MetricsRegistry, render_registries
+from repro.obs.tracing import (
+    TRACE_RING,
+    activate,
+    current_trace,
+    deactivate,
+    enabled as obs_enabled,
+    new_request_id,
+    new_trace,
+)
 from repro.service.batching import Coalescer
 from repro.service.engine import (
     PredictionEngine,
@@ -62,6 +88,8 @@ from repro.service.engine import (
     error_budget,
 )
 from repro.testing.faults import FAULTS
+
+_log = get_logger("repro.service")
 
 #: Upper bound on request head + body sizes (this is a compute service,
 #: not a file store).
@@ -85,6 +113,15 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
+#: Routes that may appear as a metrics label.  Unknown paths collapse
+#: to "other" so a client scanning for endpoints cannot blow up the
+#: label cardinality of ``repro_http_requests_total``.
+_KNOWN_ROUTES = frozenset({
+    "/healthz", "/metrics", "/v1/profiles",
+    "/v1/predict", "/v1/compare", "/v1/sweep",
+})
+_DEBUG_TRACE_PREFIX = "/v1/debug/trace"
+
 
 class PredictionService:
     """One engine + coalescer + asyncio HTTP server."""
@@ -106,15 +143,34 @@ class PredictionService:
         self.max_queue = max(1, max_queue)
         self.deadline_ms = deadline_ms
         self.drain_timeout = drain_timeout
-        self.requests_served = 0
-        #: Requests shed by admission control (well-formed 429s).
-        self.shed = 0
-        #: Requests whose deadline expired while queued or computing.
-        self.deadline_expired = 0
-        #: In-flight requests cancelled by a client disconnect.
-        self.disconnects = 0
-        #: Responses that failed to reach the client (resets mid-send).
-        self.response_failures = 0
+        #: Per-service registry: admission counters live here (not in
+        #: the process-global one) so parallel test servers stay
+        #: isolated; ``/metrics`` renders both merged.  These counter
+        #: objects are the single source — ``/healthz`` and the
+        #: back-compat properties below read them.
+        self.metrics = MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route and status",
+            labels=("route", "status"),
+        )
+        self._m_shed = self.metrics.counter(
+            "repro_admission_shed_total",
+            "Requests shed by admission control (well-formed 429s)",
+        )
+        self._m_deadline_expired = self.metrics.counter(
+            "repro_admission_deadline_expired_total",
+            "Requests whose deadline expired while queued or computing",
+        )
+        self._m_disconnects = self.metrics.counter(
+            "repro_disconnects_total",
+            "In-flight requests cancelled by a client disconnect",
+        )
+        self._m_response_failures = self.metrics.counter(
+            "repro_response_failures_total",
+            "Responses that failed to reach the client",
+        )
+        self.metrics.register_collector("service", self._collect_metrics)
         #: True once shutdown began: compute requests get 503.
         self.draining = False
         self._active_requests = 0
@@ -122,6 +178,168 @@ class PredictionService:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._coalescer: Optional[Coalescer] = None
         self._connections: set = set()
+
+    # -- registry-derived counters (single source: self.metrics) ------------
+
+    @property
+    def requests_served(self) -> int:
+        return int(self._m_requests.value())
+
+    @property
+    def shed(self) -> int:
+        return int(self._m_shed.value())
+
+    @property
+    def deadline_expired(self) -> int:
+        return int(self._m_deadline_expired.value())
+
+    @property
+    def disconnects(self) -> int:
+        return int(self._m_disconnects.value())
+
+    @property
+    def response_failures(self) -> int:
+        return int(self._m_response_failures.value())
+
+    def _collect_metrics(self, m: MetricsRegistry) -> None:
+        """Scrape-time refresh: project the authoritative structs
+        (engine stats, session caches, store counters, coalescer) into
+        gauges.  Registered as a keyed collector on ``self.metrics``.
+        """
+        m.gauge(
+            "repro_admission_max_queue",
+            "Admission bound on distinct in-flight requests",
+        ).set(self.max_queue)
+        m.gauge(
+            "repro_admission_queue_depth",
+            "Distinct requests currently admitted",
+        ).set(self._coalescer.depth() if self._coalescer else 0)
+        m.gauge(
+            "repro_service_draining", "1 while graceful drain is underway"
+        ).set(1.0 if self.draining else 0.0)
+        m.gauge(
+            "repro_service_workers", "Engine worker threads"
+        ).set(self.workers)
+        if self._coalescer is not None:
+            stats = self._coalescer.stats()
+            for name in (
+                "submitted", "collapsed", "batches", "abandoned",
+                "inflight", "pending",
+            ):
+                m.gauge(
+                    f"repro_coalescer_{name}",
+                    f"Coalescer {name.replace('_', ' ')}",
+                ).set(stats[name])
+            m.gauge(
+                "repro_coalescer_ewma_service_ms",
+                "EWMA engine service time per distinct request",
+            ).set(stats["ewma_service_ms"])
+        health = self.engine.health()
+        requests = m.gauge(
+            "repro_engine_requests", "Engine requests by kind",
+            labels=("kind",),
+        )
+        for kind, n in health.get("requests", {}).items():
+            requests.labels(kind=kind).set(n)
+        computed = m.gauge(
+            "repro_engine_computed",
+            "Engine requests computed (result-cache misses) by kind",
+            labels=("kind",),
+        )
+        for kind, n in health.get("computed", {}).items():
+            computed.labels(kind=kind).set(n)
+        for name in (
+            "errors", "profiles_built", "profiles_from_store",
+            "predictions_run", "simulations_run",
+        ):
+            m.gauge(
+                f"repro_engine_{name}",
+                f"Engine {name.replace('_', ' ')}",
+            ).set(health.get(name, 0))
+        self._collect_cache_metrics(m, health)
+        session = health.get("session", {})
+        for prefix, snap in (
+            ("repro_expand", session.get("expand_engine")),
+            ("repro_ilp_kernel", session.get("ilp_kernel")),
+        ):
+            if isinstance(snap, dict):
+                for name, value in snap.items():
+                    if isinstance(value, (int, float)):
+                        m.gauge(
+                            f"{prefix}_{name}",
+                            f"{prefix.split('_', 1)[1]} {name}".replace(
+                                "_", " "
+                            ),
+                        ).set(value)
+        self._collect_store_metrics(m, health.get("store"))
+
+    @staticmethod
+    def _collect_cache_metrics(m: MetricsRegistry, health: dict) -> None:
+        session = health.get("session", {})
+        caches = {
+            "result": health.get("result_cache", {}),
+            "profile": health.get("profile_cache", {}),
+            "trace": session.get("trace_cache", {}),
+            "ilp": session.get("ilp_cache", {}),
+            "branch": session.get("branch_cache", {}),
+            "prep": session.get("prep_cache", {}),
+        }
+        hits = m.gauge(
+            "repro_cache_hits", "Cache hits by cache", labels=("cache",)
+        )
+        misses = m.gauge(
+            "repro_cache_misses", "Cache misses by cache", labels=("cache",)
+        )
+        entries = m.gauge(
+            "repro_cache_entries", "Resident entries by cache",
+            labels=("cache",),
+        )
+        sizes = m.gauge(
+            "repro_cache_bytes", "Resident bytes by cache", labels=("cache",)
+        )
+        for label, stats in caches.items():
+            if not isinstance(stats, dict):
+                continue
+            if "hits" in stats:
+                hits.labels(cache=label).set(stats["hits"])
+            if "misses" in stats:
+                misses.labels(cache=label).set(stats["misses"])
+            for key in ("size", "entries", "traces"):
+                if key in stats:
+                    entries.labels(cache=label).set(stats[key])
+                    break
+            if "bytes" in stats:
+                sizes.labels(cache=label).set(stats["bytes"])
+
+    @staticmethod
+    def _collect_store_metrics(
+        m: MetricsRegistry, store: Optional[dict]
+    ) -> None:
+        if not isinstance(store, dict):
+            return
+        for name in (
+            "writes", "dropped_writes", "io_errors", "corrupt",
+            "schema_stale", "quarantined", "quarantine_failed",
+            "corruption_streak", "max_corruption_streak",
+        ):
+            if name in store:
+                m.gauge(
+                    f"repro_store_{name}",
+                    f"Store {name.replace('_', ' ')}",
+                ).set(store[name])
+        quarantine = store.get("quarantine")
+        if isinstance(quarantine, dict):
+            q = m.gauge(
+                "repro_store_quarantine",
+                "Quarantined artifacts by kind", labels=("kind",),
+            )
+            for kind, n in quarantine.items():
+                if isinstance(n, (int, float)):
+                    q.labels(kind=kind).set(n)
+
+    def render_metrics(self) -> str:
+        """Merged Prometheus exposition: process + service registries."""
+        return render_registries([REGISTRY, self.metrics])
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -185,6 +403,8 @@ class PredictionService:
         loop down mid-request.
         """
 
+        ensure_configured()
+
         async def _main():
             await self.start()
             loop = asyncio.get_running_loop()
@@ -194,21 +414,18 @@ class PredictionService:
                     NotImplementedError, RuntimeError, ValueError
                 ):
                     loop.add_signal_handler(sig, stopping.set)
-            print(
-                f"repro service listening on "
-                f"http://{self.host}:{self.port} "
-                f"({self.workers} engine workers, "
-                f"queue {self.max_queue}, "
-                f"deadline "
-                f"{self.deadline_ms or 'none'} ms)",
-                flush=True,
+            _log.info(
+                "service.listening",
+                url=f"http://{self.host}:{self.port}",
+                workers=self.workers,
+                max_queue=self.max_queue,
+                deadline_ms=self.deadline_ms,
             )
             serve = asyncio.ensure_future(self._server.serve_forever())
             await stopping.wait()
-            print(
-                f"repro service draining "
-                f"(<= {self.drain_timeout:.1f}s) ...",
-                flush=True,
+            _log.info(
+                "service.draining",
+                drain_timeout_s=round(self.drain_timeout, 1),
             )
             serve.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -255,15 +472,37 @@ class PredictionService:
                         body = await reader.readexactly(length)
                     except asyncio.IncompleteReadError:
                         break
+                path = urlsplit(target).path.rstrip("/") or "/"
+                request_id = (
+                    headers.get("x-request-id") or new_request_id()
+                )
+                trace = new_trace(request_id) if obs_enabled() else None
+                started = time.perf_counter()
                 self._active_requests += 1
                 try:
-                    routed = await self._route_watched(
-                        reader, writer, method, target, headers, body
-                    )
+                    # The route task inherits the activated trace via
+                    # contextvars (ensure_future copies the context).
+                    token = activate(trace)
+                    try:
+                        routed = await self._route_watched(
+                            reader, writer, method, target, headers, body
+                        )
+                    finally:
+                        deactivate(token)
                     if routed is None:
                         break  # client went away mid-request
                     status, payload, extra = routed
-                    self.requests_served += 1
+                    extra = dict(extra)
+                    extra.setdefault("X-Request-Id", request_id)
+                    route_label = (
+                        path if path in _KNOWN_ROUTES
+                        else _DEBUG_TRACE_PREFIX
+                        if path.startswith(_DEBUG_TRACE_PREFIX)
+                        else "other"
+                    )
+                    self._m_requests.labels(
+                        route=route_label, status=str(status)
+                    ).inc()
                     keep = (
                         headers.get("connection", "").lower() != "close"
                     )
@@ -271,12 +510,27 @@ class PredictionService:
                         writer, status, payload, close=not keep,
                         extra_headers=extra,
                     )
+                    if trace is not None:
+                        trace.finish(
+                            status=status, route=path, method=method
+                        )
+                        TRACE_RING.put(trace)
+                    _log.debug(
+                        "http.request",
+                        request_id=request_id,
+                        method=method,
+                        route=path,
+                        status=status,
+                        duration_ms=round(
+                            (time.perf_counter() - started) * 1e3, 3
+                        ),
+                    )
                 finally:
                     self._active_requests -= 1
                 if not keep:
                     break
         except (ConnectionResetError, BrokenPipeError):
-            self.response_failures += 1
+            self._m_response_failures.inc()
         except asyncio.CancelledError:
             pass  # event-loop teardown mid-request
         finally:
@@ -310,7 +564,7 @@ class PredictionService:
                 if done:
                     return route_task.result()
                 if reader.at_eof() or writer.is_closing():
-                    self.disconnects += 1
+                    self._m_disconnects.inc()
                     route_task.cancel()
                     with contextlib.suppress(
                         asyncio.CancelledError, Exception
@@ -324,14 +578,20 @@ class PredictionService:
             raise
 
     async def _respond(
-        self, writer, status: int, payload: dict, close: bool,
+        self, writer, status: int, payload: Union[dict, str], close: bool,
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = json.dumps(payload).encode()
+        if isinstance(payload, str):
+            # Raw text body (the /metrics exposition document).
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         reason = _REASONS.get(status, "Error")
         lines = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'close' if close else 'keep-alive'}",
         ]
@@ -352,23 +612,52 @@ class PredictionService:
 
     async def _route(
         self, method: str, target: str, headers: dict, body: bytes
-    ) -> Tuple[int, dict, Dict[str, str]]:
+    ) -> Tuple[int, Union[dict, str], Dict[str, str]]:
         parts = urlsplit(target)
         path = parts.path.rstrip("/") or "/"
+        with span("route", method=method, path=path):
+            return await self._dispatch(
+                method, path, parts.query, headers, body
+            )
+
+    async def _dispatch(
+        self, method: str, path: str, query: str, headers: dict,
+        body: bytes,
+    ) -> Tuple[int, Union[dict, str], Dict[str, str]]:
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET"}, {}
             return 200, self._health(), {}
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}, {}
+            return 200, self.render_metrics(), {}
         if path == "/v1/profiles":
             if method != "GET":
                 return 405, {"error": "use GET"}, {}
             return 200, self.engine.profiles(), {}
+        if path.startswith(_DEBUG_TRACE_PREFIX):
+            if method != "GET":
+                return 405, {"error": "use GET"}, {}
+            trace_id = path[len(_DEBUG_TRACE_PREFIX):].strip("/")
+            if not trace_id:
+                return 200, {"traces": TRACE_RING.summaries()}, {}
+            trace = TRACE_RING.get(trace_id)
+            if trace is None:
+                return 404, {
+                    "error": f"no recent trace {trace_id!r}",
+                    "hint": (
+                        "the ring keeps the most recent "
+                        f"{TRACE_RING.capacity} requests"
+                    ),
+                }, {}
+            return 200, trace.to_dict(), {}
         if path in ("/v1/predict", "/v1/compare", "/v1/sweep"):
             if method not in ("GET", "POST"):
                 return 405, {"error": "use GET or POST"}, {}
             try:
                 request = _build_request(path.rsplit("/", 1)[1],
-                                         parts.query, body)
+                                         query, body)
                 deadline_ms = _deadline_ms(headers, self.deadline_ms)
             except ValueError as exc:
                 return 400, {"error": str(exc)}, {}
@@ -390,7 +679,7 @@ class PredictionService:
             self._coalescer.depth() >= self.max_queue
             and key not in self._coalescer._inflight
         ):
-            self.shed += 1
+            self._m_shed.inc()
             retry_after = self._retry_after()
             return 429, {
                 "error": "service overloaded, retry later",
@@ -398,16 +687,23 @@ class PredictionService:
                 "max_queue": self.max_queue,
                 "retry_after_s": retry_after,
             }, {"Retry-After": str(retry_after)}
+        # Carry the active trace across the executor boundary: worker
+        # threads do not inherit contextvars, so the engine reactivates
+        # request.trace around handle().  Single-flight riders share
+        # the leader's computation — engine spans land in the leader's
+        # trace; riders still record their own coalesce wait here.
+        request = dataclasses.replace(request, trace=current_trace())
         submit = self._coalescer.submit(key, request)
         try:
-            if deadline_ms is not None:
-                status, payload = await asyncio.wait_for(
-                    submit, timeout=deadline_ms / 1e3
-                )
-            else:
-                status, payload = await submit
+            with span("coalesce", key="/".join(map(str, key))):
+                if deadline_ms is not None:
+                    status, payload = await asyncio.wait_for(
+                        submit, timeout=deadline_ms / 1e3
+                    )
+                else:
+                    status, payload = await submit
         except asyncio.TimeoutError:
-            self.deadline_expired += 1
+            self._m_deadline_expired.inc()
             retry_after = self._retry_after()
             return 503, {
                 "error": "deadline exceeded",
@@ -424,6 +720,9 @@ class PredictionService:
 
     def _health(self) -> dict:
         engine_health = self.engine.health()
+        # Every count here reads the same registry counters /metrics
+        # renders — the registry is the single source (asserted by
+        # tests/test_service.py::test_healthz_derived_from_registry).
         admission = {
             "max_queue": self.max_queue,
             "queue_depth": (
@@ -431,10 +730,10 @@ class PredictionService:
                 if self._coalescer is not None else 0
             ),
             "deadline_ms": self.deadline_ms,
-            "shed": self.shed,
-            "deadline_expired": self.deadline_expired,
-            "disconnects": self.disconnects,
-            "response_failures": self.response_failures,
+            "shed": int(self._m_shed.value()),
+            "deadline_expired": int(self._m_deadline_expired.value()),
+            "disconnects": int(self._m_disconnects.value()),
+            "response_failures": int(self._m_response_failures.value()),
             "draining": self.draining,
         }
         return {

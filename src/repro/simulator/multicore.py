@@ -18,6 +18,7 @@ from typing import List, Union
 from repro.arch.config import MulticoreConfig
 from repro.branch.predictors import TournamentPredictor
 from repro.core.cpi_stack import CPIStack
+from repro.obs import span
 from repro.runtime.chunking import chunk_trace
 from repro.runtime.scheduler import run_schedule
 from repro.simulator.caches import MemorySystem
@@ -166,6 +167,7 @@ def simulate(
             DeprecationWarning,
             stacklevel=2,
         )
-    return MulticoreSimulator(config)._run(
-        workload, chunk, session, trace_cache
-    )
+    with span("simulate", workload=workload.name, config=config.name):
+        return MulticoreSimulator(config)._run(
+            workload, chunk, session, trace_cache
+        )

@@ -182,6 +182,8 @@ POINTS = (
     "store.crash",       # SimulatedCrash between tmp write and rename
     "engine.compute",    # delays / raises inside an engine request
     "server.respond",    # raises while writing an HTTP response
+    "obs.emit",          # raises inside telemetry emission (best-effort:
+                         # a broken sink must never fail a request)
 )
 
 __all__ = [

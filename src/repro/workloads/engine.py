@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import span
 from repro.workloads import branches as _branches
 from repro.workloads import patterns as _patterns
 from repro.workloads.generator import (
@@ -417,7 +418,8 @@ class ExpansionEngine:
 
     def expand(self, workload: WorkloadSpec) -> WorkloadTrace:
         """Expand one workload spec (see :meth:`expand_many`)."""
-        return self.expand_many([workload])[0]
+        with span("expand", workload=workload.name):
+            return self.expand_many([workload])[0]
 
     def expand_many(
         self, workloads: Sequence[WorkloadSpec]

@@ -113,7 +113,7 @@ class TestFaultInjector:
         # hooks were renamed without updating the catalogue.
         assert set(POINTS) == {
             "store.read", "store.write", "store.crash",
-            "engine.compute", "server.respond",
+            "engine.compute", "server.respond", "obs.emit",
         }
 
 
@@ -439,6 +439,43 @@ class TestServingChaos:
                 assert result["total_cycles"] > 0
                 health = client.healthz()
                 assert health["admission"]["response_failures"] == 1
+
+    def test_broken_telemetry_sink_never_fails_a_request(self):
+        # Telemetry is best-effort by construction: every span the
+        # request path emits hits a sink that raises, yet the request
+        # completes normally — only the drop counter moves.
+        from repro.obs import dropped_emits
+        from repro.service.client import ServiceClient
+
+        with self._boot() as server:
+            with ServiceClient(port=server.port) as client:
+                dropped_before = dropped_emits()
+                with inject(
+                    "obs.emit", error=RuntimeError("sink down")
+                ) as fault:
+                    result = client.predict(
+                        benchmark="rodinia.nn", scale=SCALE,
+                        retries=0,
+                    )
+                assert result["total_cycles"] > 0
+                # The fault actually fired (spans were emitted) and
+                # every failed emit was swallowed into the counter.
+                assert fault.fired > 0
+                assert dropped_emits() - dropped_before == fault.fired
+                # Sink restored: the next request still works and the
+                # metrics surface is intact.
+                assert client.predict(
+                    benchmark="rodinia.nn", scale=SCALE
+                )["total_cycles"] > 0
+                assert "repro_stage_seconds" in client.metrics()
+
+    def test_span_swallows_sink_errors_directly(self):
+        from repro.obs import span
+
+        with inject("obs.emit", error=RuntimeError("sink down")):
+            with span("unit.test"):  # must not raise
+                value = 41 + 1
+        assert value == 42
 
     def test_boot_timeout_failure_names_the_thread(self):
         from repro.service.server import BackgroundServer

@@ -357,6 +357,166 @@ class TestHTTPEndpoints:
         assert payload["benchmark"] == "rodinia.nn"
 
 
+def _series_sum(text: str, name: str) -> float:
+    """Sum all samples of one Prometheus series from exposition text."""
+    total = 0.0
+    found = False
+    for line in text.splitlines():
+        if line.startswith(name) and (
+            line[len(name)] in ("{", " ")
+        ):
+            total += float(line.rsplit(" ", 1)[1])
+            found = True
+    assert found, f"series {name!r} absent from /metrics"
+    return total
+
+
+class TestObservability:
+    """The telemetry plane over HTTP: request ids, /metrics, traces."""
+
+    def _raw_get(self, port, path, headers=None):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.request("GET", path, headers=headers or {})
+            resp = conn.getresponse()
+            body = resp.read()
+            return resp.status, dict(resp.getheaders()), body
+        finally:
+            conn.close()
+
+    def test_request_id_header_echoed(self, server):
+        status, headers, _ = self._raw_get(
+            server.port, "/healthz",
+            headers={"X-Request-Id": "caller-supplied-42"},
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] == "caller-supplied-42"
+
+    def test_request_id_generated_when_absent(self, server):
+        _, headers, _ = self._raw_get(server.port, "/healthz")
+        rid = headers["X-Request-Id"]
+        assert len(rid) == 16
+        int(rid, 16)  # hex-shaped
+
+    def test_metrics_covers_core_series(self, client):
+        client.predict("rodinia.nn", scale=SCALE)  # warm every plane
+        text = client.metrics()
+        for series in (
+            # http + admission
+            "repro_http_requests_total",
+            "repro_admission_shed_total",
+            "repro_admission_deadline_expired_total",
+            "repro_admission_queue_depth",
+            "repro_admission_max_queue",
+            # engine + coalescer
+            "repro_engine_requests",
+            "repro_engine_computed",
+            "repro_coalescer_submitted",
+            # session caches
+            "repro_cache_hits",
+            "repro_cache_misses",
+            "repro_expand_workloads",
+            "repro_ilp_kernel_dispatches",
+            # pipeline stages + obs self-telemetry
+            "repro_stage_seconds_bucket",
+            "repro_obs_dropped_emits",
+            "repro_obs_enabled",
+        ):
+            assert series in text, f"missing {series}"
+        assert 'repro_cache_hits{cache="result"}' in text
+        assert 'repro_stage_seconds_bucket{stage="engine"' in text
+
+    def test_metrics_covers_store_series(self, tmp_path):
+        from repro.experiments.store import ProfileStore
+
+        engine = PredictionEngine(store=ProfileStore(tmp_path / "s"))
+        with BackgroundServer(engine=engine, workers=2) as server:
+            with ServiceClient(port=server.port) as c:
+                c.predict("rodinia.nn", scale=SCALE)
+                text = c.metrics()
+        for series in (
+            "repro_store_writes",
+            "repro_store_dropped_writes",
+            "repro_store_io_errors",
+            "repro_store_corruption_streak",
+        ):
+            assert series in text, f"missing {series}"
+        assert _series_sum(text, "repro_store_writes") >= 1
+
+    def test_healthz_derived_from_registry(self):
+        """/healthz admission counters and /metrics render the same
+        registry — no counter is double-sourced.  A dedicated server
+        keeps the arithmetic exact."""
+        engine = PredictionEngine(store=None)
+        n = 3
+        with BackgroundServer(engine=engine, workers=2) as server:
+            with ServiceClient(port=server.port) as c:
+                for _ in range(n):
+                    c.predict("rodinia.nn", scale=SCALE)
+                health = c.healthz()
+                text = c.metrics()
+        # The healthz request itself is counted after routing, so the
+        # payload sees exactly the n predicts; the later /metrics body
+        # additionally counts the healthz hit but not itself.
+        assert health["requests_served"] == n
+        served = _series_sum(text, "repro_http_requests_total")
+        assert served == n + 1
+        admission = health["admission"]
+        for key, series in (
+            ("shed", "repro_admission_shed_total"),
+            ("deadline_expired",
+             "repro_admission_deadline_expired_total"),
+            ("disconnects", "repro_disconnects_total"),
+            ("response_failures", "repro_response_failures_total"),
+        ):
+            assert admission[key] == _series_sum(text, series)
+
+    def test_debug_trace_round_trip(self, server):
+        with ServiceClient(port=server.port) as c:
+            rid = "trace-roundtrip-1"
+            status, headers, _ = self._raw_get(
+                server.port,
+                f"/v1/predict?benchmark=rodinia.bfs&scale={SCALE}",
+                headers={"X-Request-Id": rid},
+            )
+            assert status == 200
+            assert headers["X-Request-Id"] == rid
+            trace = c.debug_trace(rid)
+        assert trace["trace_id"] == rid
+        assert trace["status"] == 200
+        assert trace["duration_ms"] > 0
+        names = {s["name"] for s in trace["spans"]}
+        assert "route" in names
+        assert "coalesce" in names
+        # Engine-side spans ride the ServiceRequest across the
+        # executor boundary into the worker thread.
+        assert "engine" in names
+
+    def test_debug_trace_listing_and_404(self, client):
+        listing = client._request("GET", "/v1/debug/trace")
+        assert isinstance(listing["traces"], list)
+        with pytest.raises(ServiceError) as exc_info:
+            client.debug_trace("no-such-trace")
+        assert exc_info.value.status == 404
+
+    def test_metrics_unaffected_by_obs_off_requests(self, server):
+        """REPRO_OBS=off stops span recording but never breaks the
+        scrape endpoint itself."""
+        from repro.obs import set_enabled
+
+        set_enabled(False)
+        try:
+            status, _, body = self._raw_get(server.port, "/metrics")
+        finally:
+            set_enabled(True)
+        assert status == 200
+        text = body.decode()
+        assert "repro_obs_enabled 0" in text
+        assert "repro_http_requests_total" in text
+
+
 class TestConcurrentServing:
     def test_32_identical_requests_one_computation(self):
         """The acceptance property: >= 32 simultaneous identical
