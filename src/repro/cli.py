@@ -24,6 +24,11 @@ Commands mirror the paper's workflow (Fig. 1):
 * ``store``    — inspect (``stats``) or garbage-collect (``prune``)
   the on-disk artifact store, including the content-addressed
   ``traces`` kind the trace cache persists.
+* ``work``     — the crash-safe distributed work queue over the store
+  (:mod:`repro.experiments.workqueue`): ``enqueue`` a suite's jobs,
+  ``run`` a supervised worker fleet (``--workers N``; workers on any
+  host sharing the store directory cooperate via lease files and
+  survive SIGKILL), ``stats`` the queue state.
 * ``list``     — list benchmarks and design points.
 
 ``predict`` and ``compare`` render through the same payload builders
@@ -220,6 +225,16 @@ def cmd_bench(args) -> int:
             print(f"wrote {args.service_output}")
         if args.check:
             failures += check_service(service)
+    if args.work_output:
+        from repro.experiments.bench import check_work, render_work, \
+            run_work_bench
+        work = run_work_bench(
+            quick=args.quick, output=args.work_output
+        )
+        print(render_work(work))
+        print(f"wrote {args.work_output}")
+        if args.check:
+            failures += check_work(work)
     if args.check:
         for line in failures:
             print(f"CHECK FAILED: {line}", file=sys.stderr)
@@ -281,6 +296,79 @@ def cmd_store(args) -> int:
         total_b += entry["bytes"]
     print(f"  {'total':<12s} {verb} {total_n:6d} artifacts  "
           f"{total_b / 2**20:8.1f} MiB")
+    return 0
+
+
+def cmd_work(args) -> int:
+    from repro.experiments.store import ProfileStore
+    from repro.experiments.workqueue import (
+        WorkQueue, plan_suite_jobs, run_workers,
+    )
+
+    store = ProfileStore(args.root) if args.root else ProfileStore()
+    if args.work_command == "enqueue":
+        from repro.experiments.suites import (
+            full_suite, parsec_suite, rodinia_suite,
+        )
+        refs = {
+            "full": full_suite,
+            "rodinia": rodinia_suite,
+            "parsec": parsec_suite,
+        }[args.suite]()
+        if args.benchmark:
+            wanted = set(args.benchmark)
+            refs = [r for r in refs if r.label in wanted
+                    or r.name in wanted]
+            if not refs:
+                raise SystemExit(
+                    f"no benchmark matched {sorted(wanted)}"
+                )
+        jobs = plan_suite_jobs(
+            refs,
+            scale=args.scale,
+            chunk=args.chunk,
+            configs=args.config or ["base"],
+            cores=args.cores,
+            simulate=args.simulate,
+            baselines=args.baselines,
+        )
+        queue = WorkQueue(store.root)
+        added = queue.enqueue_many(jobs)
+        queue.close()
+        print(f"enqueued {added} of {len(jobs)} jobs "
+              f"({len(jobs) - added} already pending or done) "
+              f"under {queue.root}")
+        return 0
+    if args.work_command == "run":
+        summary = run_workers(
+            store.root,
+            workers=args.workers,
+            lease_s=args.lease,
+            heartbeat_s=args.heartbeat,
+            drain=not args.no_drain,
+            respawn=not args.no_respawn,
+            install_signals=True,
+        )
+        queue_stats = summary["queue"]
+        print(f"fleet done: {summary['workers']} workers "
+              f"({summary['respawned']} respawned), "
+              f"{queue_stats['done']} jobs done, "
+              f"{queue_stats['pending']} pending, "
+              f"{queue_stats['leased']} leased")
+        return 1 if queue_stats["pending"] else 0
+    # stats
+    queue = WorkQueue(
+        store.root, lease_s=args.lease, heartbeat_s=args.heartbeat
+    )
+    stats = queue.stats()
+    print(f"queue root: {queue.root}")
+    print(f"  pending {stats['pending']:5d}   leased "
+          f"{stats['leased']:5d}   done {stats['done']:5d}")
+    for key, meta in sorted(queue.live_leases().items()):
+        expired = meta["age_s"] > queue.lease_s
+        print(f"  lease {key[:16]}  owner={meta.get('owner', '?')} "
+              f"pid={meta.get('pid', '?')} age={meta['age_s']:.1f}s"
+              f"{'  EXPIRED' if expired else ''}")
     return 0
 
 
@@ -397,6 +485,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a cProfile top-20 of the end-to-end "
                         "suite profiling loop (CI uploads this so the "
                         "next hot spot is identified from CI)")
+    p.add_argument("--work-output", default=None, metavar="PATH",
+                   help="also run the work-queue chaos scenarios "
+                        "(kill-mid-lease, stale takeover, claim race) "
+                        "and write their record here, e.g. "
+                        "BENCH_work.json (skipped when omitted)")
 
     p = sub.add_parser(
         "store",
@@ -425,6 +518,70 @@ def build_parser() -> argparse.ArgumentParser:
                     help="allow an unfiltered sweep of the whole store")
     sp.add_argument("--dry-run", action="store_true",
                     help="report what would be removed, remove nothing")
+
+    p = sub.add_parser(
+        "work",
+        help="crash-safe distributed work queue over the store",
+    )
+    wsub = p.add_subparsers(dest="work_command", required=True)
+
+    def add_work_common(wp):
+        wp.add_argument("--root", help="store root (default: "
+                        "REPRO_CACHE_DIR or ~/.cache/repro); workers "
+                        "on any host sharing this directory cooperate")
+        wp.add_argument("--lease", type=float, default=15.0,
+                        metavar="S",
+                        help="lease length: a worker silent this long "
+                             "is dead and its jobs are re-claimed "
+                             "(default 15)")
+        wp.add_argument("--heartbeat", type=float, default=None,
+                        metavar="S",
+                        help="lease renewal interval (default: "
+                             "lease / 5)")
+
+    wp = wsub.add_parser(
+        "enqueue", help="enqueue a suite's jobs by content key"
+    )
+    wp.add_argument("--root", help="store root (default: "
+                    "REPRO_CACHE_DIR or ~/.cache/repro)")
+    wp.add_argument("--suite", choices=("full", "rodinia", "parsec"),
+                    default="full",
+                    help="benchmark suite to plan (default full)")
+    wp.add_argument("--benchmark", action="append", metavar="NAME",
+                    help="restrict to named benchmark(s), e.g. "
+                         "rodinia.hotspot (repeatable)")
+    wp.add_argument("--scale", type=float, default=1.0)
+    wp.add_argument("--chunk", type=int, default=4096)
+    wp.add_argument("--config", action="append", choices=TABLE_IV,
+                    metavar="POINT",
+                    help="Table IV design point(s) to predict "
+                         "(repeatable; default base)")
+    wp.add_argument("--cores", type=int, default=4)
+    wp.add_argument("--simulate", action="store_true",
+                    help="also enqueue reference simulations")
+    wp.add_argument("--baselines", action="store_true",
+                    help="also enqueue per-chunk reference profiles "
+                         "(bench equivalence baselines)")
+
+    wp = wsub.add_parser(
+        "run",
+        help="run a supervised worker fleet until the queue drains",
+    )
+    add_work_common(wp)
+    wp.add_argument("--workers", type=int, default=2, metavar="N",
+                    help="worker processes to supervise (default 2); "
+                         "dead workers are respawned, their leases "
+                         "re-claimed within one lease period")
+    wp.add_argument("--no-drain", action="store_true",
+                    help="keep serving new jobs after the queue "
+                         "empties (stop with SIGINT/SIGTERM)")
+    wp.add_argument("--no-respawn", action="store_true",
+                    help="do not respawn workers that die")
+
+    wp = wsub.add_parser(
+        "stats", help="queue state: pending / leased / done"
+    )
+    add_work_common(wp)
 
     p = sub.add_parser(
         "serve", help="run the prediction service (HTTP/JSON)"
@@ -488,6 +645,7 @@ def main(argv: Optional[list] = None) -> int:
         "report": cmd_report,
         "bench": cmd_bench,
         "store": cmd_store,
+        "work": cmd_work,
         "serve": cmd_serve,
         "obs": cmd_obs,
     }

@@ -151,6 +151,24 @@ SERVICE_FLOORS: Dict[str, float] = {
     "max_hung_workers": 0,
 }
 
+#: Committed work-queue robustness floors (``BENCH_work.json``): the
+#: distributed-runner contract under chaos.  A SIGKILL'd worker's
+#: leases must be re-claimed within two lease periods (one period of
+#: remaining lease validity plus the survivors' scan cadence and CI
+#: scheduler slack), nothing may be lost or double-computed, every
+#: claim race must elect exactly one winner, a zombie owner must never
+#: publish over a successor, and the fleet-built report must render
+#: bit-identical to a single-process run.
+WORK_FLOORS: Dict[str, float] = {
+    "max_reclaim_lease_periods": 2.0,
+    "max_lost_jobs": 0,
+    "max_duplicate_effects": 0,
+    "max_claim_winners": 1,
+    "max_zombie_publications": 0,
+    "min_report_identical": 1,
+    "max_survivors_hung": 0,
+}
+
 
 class SuiteStreams:
     """The access streams of one benchmark, in profiler chunk order."""
@@ -798,6 +816,148 @@ def render_service(record: Dict) -> str:
             f"{refused} refused, {rec['connection_errors']} conn "
             f"drops, {rec['unexplained_errors']} unexplained, "
             f"{rec['hung_workers']} hung"
+        )
+    return "\n".join(lines)
+
+
+def run_work_bench(
+    quick: bool = False,
+    output: Optional[str] = "BENCH_work.json",
+) -> Dict:
+    """Run the work-queue chaos scenarios and record the results.
+
+    Kill-mid-lease (real SIGKILL of a spawned worker holding live
+    leases), stale-lease takeover, and the duplicate-claim race —
+    the crash-safety substance behind ``repro work``.  Writes the
+    schema-1 ``BENCH_work.json`` record.
+
+    The kill scenario spawns real worker processes, so the caller's
+    ``__main__`` module must be import-safe (pytest and ``python -m
+    repro`` both are).
+    """
+    from repro.experiments.workqueue import (
+        WORK_BENCH_SCHEMA, run_work_scenarios,
+    )
+
+    record = {
+        "schema": WORK_BENCH_SCHEMA,
+        "mode": "quick" if quick else "full",
+        "scenarios": run_work_scenarios(quick=quick),
+    }
+    if output:
+        with open(output, "w") as fh:
+            json.dump(record, fh, indent=2)
+    return record
+
+
+def check_work(record: Dict) -> List[str]:
+    """Validate a work-queue record against :data:`WORK_FLOORS`."""
+    failures = []
+    scenarios = record.get("scenarios", {})
+    kill = scenarios.get("kill_mid_lease")
+    if kill is not None:
+        if not kill["killed"]:
+            failures.append(
+                "kill_mid_lease: the victim worker was never killed "
+                "— the scenario did not exercise the crash path"
+            )
+        if kill["reclaim_lease_periods"] > WORK_FLOORS[
+            "max_reclaim_lease_periods"
+        ]:
+            failures.append(
+                f"kill_mid_lease: stolen leases re-claimed after "
+                f"{kill['reclaim_lease_periods']:.2f} lease periods, "
+                f"above the committed "
+                f"{WORK_FLOORS['max_reclaim_lease_periods']:.1f}"
+            )
+        if kill["lost_jobs"] > WORK_FLOORS["max_lost_jobs"]:
+            failures.append(
+                f"kill_mid_lease: {kill['lost_jobs']} job(s) never "
+                f"completed — a SIGKILL lost work"
+            )
+        if kill["duplicate_effects"] > WORK_FLOORS[
+            "max_duplicate_effects"
+        ]:
+            failures.append(
+                f"kill_mid_lease: {kill['duplicate_effects']} "
+                f"double-computed key(s) — idempotence is broken"
+            )
+        if kill["report_identical"] < WORK_FLOORS[
+            "min_report_identical"
+        ]:
+            failures.append(
+                "kill_mid_lease: the fleet-built report differs from "
+                "the single-process run (must be bit-identical)"
+            )
+        if kill["survivors_hung"] > WORK_FLOORS["max_survivors_hung"]:
+            failures.append(
+                f"kill_mid_lease: {kill['survivors_hung']} surviving "
+                f"worker(s) failed to drain and exit"
+            )
+    stale = scenarios.get("stale_takeover")
+    if stale is not None:
+        if stale["takeover_claims"] < 1:
+            failures.append(
+                "stale_takeover: an expired lease was never "
+                "re-claimed — takeover is broken"
+            )
+        if stale["zombie_published"] > WORK_FLOORS[
+            "max_zombie_publications"
+        ]:
+            failures.append(
+                "stale_takeover: a zombie owner published a "
+                "completion over the new owner"
+            )
+        if stale["lost_jobs"] > WORK_FLOORS["max_lost_jobs"]:
+            failures.append(
+                f"stale_takeover: {stale['lost_jobs']} job(s) lost"
+            )
+    race = scenarios.get("duplicate_claim_race")
+    if race is not None:
+        if race["max_winners"] > WORK_FLOORS["max_claim_winners"]:
+            failures.append(
+                f"duplicate_claim_race: {race['max_winners']} "
+                f"claimers won the same key in one round (exactly "
+                f"one O_EXCL winner is the contract)"
+            )
+        if race["min_winners"] < 1:
+            failures.append(
+                "duplicate_claim_race: a round elected no winner — "
+                "a claimable job was skipped by every claimer"
+            )
+    return failures
+
+
+def render_work(record: Dict) -> str:
+    """Human-readable summary of a work-queue chaos record."""
+    scenarios = record.get("scenarios", {})
+    lines = [f"work-queue chaos ({record.get('mode', '?')})"]
+    kill = scenarios.get("kill_mid_lease")
+    if kill is not None:
+        lines.append(
+            f"  kill mid-lease       : victim held "
+            f"{kill['victim_held_leases']} lease(s), re-claimed in "
+            f"{kill['reclaim_s']:.2f}s "
+            f"({kill['reclaim_lease_periods']:.2f} lease periods); "
+            f"{kill['done']}/{kill['jobs']} jobs done, "
+            f"{kill['lost_jobs']} lost, "
+            f"{kill['duplicate_effects']} duplicate effects, report "
+            f"{'identical' if kill['report_identical'] else 'DIVERGED'}"
+        )
+    stale = scenarios.get("stale_takeover")
+    if stale is not None:
+        lines.append(
+            f"  stale-lease takeover : {stale['takeover_claims']} "
+            f"takeover(s), zombie published "
+            f"{stale['zombie_published']}, survivor published "
+            f"{stale['survivor_published']}"
+        )
+    race = scenarios.get("duplicate_claim_race")
+    if race is not None:
+        lines.append(
+            f"  duplicate-claim race : {race['rounds']} rounds x "
+            f"{race['claimers']} claimers, winners per round "
+            f"{race['min_winners']}..{race['max_winners']}"
         )
     return "\n".join(lines)
 

@@ -349,11 +349,22 @@ class ProfileStore:
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(data)
+                # Durability, not just atomicity: without the fsync a
+                # power loss after the rename can surface a published
+                # artifact whose *data* never reached the platter — a
+                # zero-length or torn file at the final path, which
+                # atomic rename alone cannot prevent.
+                fh.flush()
+                try:
+                    os.fsync(fh.fileno())
+                except OSError:
+                    self.counters.bump("io_errors")
             # The crash-safety window: a process dying between the
             # temp-file write and the rename must leave the published
             # path untouched and only an orphan ``*.tmp`` behind.
             FAULTS.fire("store.crash")
             os.replace(tmp, path)
+            self._fsync_dir(path.parent)
             self.counters.bump("writes")
         except BaseException as exc:
             if isinstance(exc, SimulatedCrash):
@@ -365,6 +376,29 @@ class ProfileStore:
             if self.strict or not isinstance(exc, OSError):
                 raise
             self.counters.bump("dropped_writes")
+
+    def _fsync_dir(self, directory: Path) -> None:
+        """Persist a rename by fsyncing its directory (POSIX).
+
+        The rename itself lives in the directory entry; without this a
+        power loss can forget the publication even though the file's
+        bytes are safe.  Filesystems that refuse directory fds (or
+        non-POSIX hosts) count an ``io_error`` and move on — the write
+        is still atomic, merely not power-loss durable.
+        """
+        if not hasattr(os, "O_DIRECTORY"):  # pragma: no cover
+            return
+        try:
+            fd = os.open(directory, os.O_RDONLY | os.O_DIRECTORY)
+        except OSError:
+            self.counters.bump("io_errors")
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            self.counters.bump("io_errors")
+        finally:
+            os.close(fd)
 
     # -- profiles (JSON) ----------------------------------------------------
 

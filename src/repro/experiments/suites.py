@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -29,6 +30,7 @@ from repro.arch.config import MulticoreConfig
 from repro.core.rppm import PredictionResult, predict
 from repro.core.session import Session
 from repro.experiments.store import ProfileStore
+from repro.obs import get_logger
 from repro.profiler.profile import WorkloadProfile
 from repro.profiler.profiler import profile_workload
 from repro.simulator.multicore import simulate
@@ -344,32 +346,130 @@ class RunCache:
         if workers is None:
             workers = os.cpu_count() or 1
         if workers <= 1 or len(todo) == 1:
-            for ref in todo:
-                self.profile(ref)
-                for config in configs:
-                    self.prediction(ref, config)
-                    if simulate:
-                        self.simulation(ref, config)
+            self._prefetch_serial(todo, configs, simulate)
             return [ref.label for ref in todo]
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            store_root = (
-                str(self.store.root) if self.store is not None else None
-            )
-            futures = [
-                pool.submit(
-                    _prefetch_worker, ref.suite, ref.name, self.scale,
-                    self.chunk, list(configs), simulate, store_root,
+        if self.store is not None and self._queue_eligible(configs):
+            done = self._prefetch_queue(todo, configs, workers, simulate)
+            if done is not None:
+                return done
+
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                store_root = (
+                    str(self.store.root)
+                    if self.store is not None else None
                 )
-                for ref in todo
-            ]
-            for ref, future in zip(todo, futures):
-                label, profile, preds, sims = future.result()
-                self._profiles[label] = profile
-                for config, pred in zip(configs, preds):
-                    self._predictions[(label, config)] = pred
-                for config, sim in zip(configs, sims):
-                    self._simulations[(label, config)] = sim
+                futures = [
+                    pool.submit(
+                        _prefetch_worker, ref.suite, ref.name,
+                        self.scale, self.chunk, list(configs),
+                        simulate, store_root,
+                    )
+                    for ref in todo
+                ]
+                for ref, future in zip(todo, futures):
+                    label, profile, preds, sims = future.result()
+                    self._profiles[label] = profile
+                    for config, pred in zip(configs, preds):
+                        self._predictions[(label, config)] = pred
+                    for config, sim in zip(configs, sims):
+                        self._simulations[(label, config)] = sim
+        except BrokenProcessPool:
+            # A worker died hard (OOM kill, segfault, machine chaos).
+            # The report must not: recompute serially in-process —
+            # every artifact a worker did persist before dying is a
+            # store hit, so only the genuinely missing tail is paid.
+            get_logger("repro.suites").error(
+                "prefetch.pool_broken",
+                todo=len(todo), workers=workers,
+                fallback="serial recompute",
+            )
+            self._prefetch_serial(todo, configs, simulate)
+        return [ref.label for ref in todo]
+
+    def _prefetch_serial(
+        self,
+        todo: Sequence[BenchmarkRef],
+        configs: Sequence[MulticoreConfig],
+        simulate: bool,
+    ) -> None:
+        """In-process load-or-compute of everything in ``todo``."""
+        for ref in todo:
+            self.profile(ref)
+            for config in configs:
+                self.prediction(ref, config)
+                if simulate:
+                    self.simulation(ref, config)
+
+    @staticmethod
+    def _queue_eligible(configs: Sequence[MulticoreConfig]) -> bool:
+        """Can ``configs`` travel as work-queue job payloads?
+
+        Queue jobs carry configurations by Table IV design-point name
+        (JSON, host-portable), so only preset-exact configs — same
+        name, same derived parameters, uniform core count — can take
+        the queue path; anything bespoke falls back to the pool.
+        """
+        from repro.arch.presets import TABLE_IV, table_iv_config
+
+        cores = {config.cores for config in configs}
+        if len(cores) > 1:
+            return False
+        return all(
+            config.name in TABLE_IV
+            and table_iv_config(config.name, cores=config.cores)
+            == config
+            for config in configs
+        )
+
+    def _prefetch_queue(
+        self,
+        todo: Sequence[BenchmarkRef],
+        configs: Sequence[MulticoreConfig],
+        workers: int,
+        simulate: bool,
+    ) -> Optional[List[str]]:
+        """Fan ``todo`` out over the crash-safe work queue.
+
+        Enqueues the job plan under this store's root and runs a
+        supervised worker fleet to drain it — the same path any other
+        process (or host sharing the store directory) would join, and
+        the one that survives a worker SIGKILL without losing work.
+        Returns ``None`` to fall back to the process pool when the
+        fleet cannot run (e.g. an unpicklable spawn context).
+        """
+        from repro.experiments.workqueue import (
+            WorkQueue, plan_suite_jobs, run_workers,
+        )
+
+        jobs = plan_suite_jobs(
+            todo,
+            scale=self.scale,
+            chunk=self.chunk,
+            configs=[config.name for config in configs],
+            cores=configs[0].cores if configs else 4,
+            simulate=simulate,
+        )
+        try:
+            queue = WorkQueue(self.store.root)
+            queue.enqueue_many(jobs)
+            run_workers(
+                self.store.root,
+                workers=min(workers, len(todo)),
+                drain=True,
+            )
+            queue.close()
+        except Exception:
+            get_logger("repro.suites").error(
+                "prefetch.queue_failed", todo=len(todo),
+                fallback="process pool",
+            )
+            return None
+        # The artifacts are durable now; pull them into the memory
+        # cache through the normal getters (store hits, or — if a
+        # worker was lost mid-fleet — an in-process recompute).
+        self._prefetch_serial(todo, configs, simulate)
         return [ref.label for ref in todo]
 
 

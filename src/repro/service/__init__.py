@@ -17,6 +17,7 @@ from repro.service.client import (
     ServiceError,
     ServiceOverloaded,
     ServiceProtocolError,
+    ServiceRetryBudgetExceeded,
     ServiceTimeout,
 )
 from repro.service.engine import (
@@ -39,6 +40,7 @@ __all__ = [
     "ServiceError",
     "ServiceOverloaded",
     "ServiceProtocolError",
+    "ServiceRetryBudgetExceeded",
     "ServiceTimeout",
     "ServiceRequest",
     "error_budget",

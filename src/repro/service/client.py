@@ -66,6 +66,31 @@ class ServiceProtocolError(ServiceError):
     """
 
 
+class ServiceRetryBudgetExceeded(ServiceError):
+    """The retry loop ran out of *time* before it ran out of attempts.
+
+    Raised when honoring server backoff hints would push the total
+    retry time past ``max_elapsed_s`` — an adversarial (or badly
+    misconfigured) server could otherwise extend a "2 retries" call
+    indefinitely via large ``Retry-After`` values.  Chains the last
+    underlying failure as ``__cause__``.
+    """
+
+    def __init__(
+        self, elapsed_s: float, max_elapsed_s: float, attempts: int
+    ) -> None:
+        ServiceError.__init__(self, None, {
+            "error": (
+                f"retry budget exhausted after {attempts} attempt(s): "
+                f"{elapsed_s:.2f}s elapsed of {max_elapsed_s:.2f}s "
+                f"allowed"
+            ),
+        })
+        self.elapsed_s = elapsed_s
+        self.max_elapsed_s = max_elapsed_s
+        self.attempts = attempts
+
+
 #: Statuses worth retrying: overload shed and deadline/drain refusals.
 _RETRYABLE_STATUSES = (429, 503)
 
@@ -87,6 +112,8 @@ class ServiceClient:
     for overloaded (429), unavailable (503) and transport-dropped
     requests; ``retries=0`` surfaces every failure immediately (the
     mode the overload benchmarks use to count sheds exactly).
+    ``max_elapsed_s`` caps the *total* time the loop may spend,
+    attempts included — the bound ``Retry-After`` hints cannot extend.
     """
 
     def __init__(
@@ -97,6 +124,7 @@ class ServiceClient:
         retries: int = 2,
         backoff_s: float = 0.05,
         backoff_cap_s: float = 2.0,
+        max_elapsed_s: Optional[float] = 60.0,
         rng: Optional[random.Random] = None,
     ) -> None:
         self.host = host
@@ -105,6 +133,7 @@ class ServiceClient:
         self.retries = max(0, retries)
         self.backoff_s = backoff_s
         self.backoff_cap_s = backoff_cap_s
+        self.max_elapsed_s = max_elapsed_s
         self._rng = rng if rng is not None else random.Random()
         self._conn: Optional[http.client.HTTPConnection] = None
         #: Retry observability (the loadgen reports these).
@@ -198,8 +227,13 @@ class ServiceClient:
         Honors ``Retry-After``: when the server says how long to back
         off, that wins over the exponential schedule (plus jitter, so
         a shed stampede does not return as a synchronized stampede).
+        ``max_elapsed_s`` bounds the whole loop: a retry whose delay
+        would land past the budget raises
+        :class:`ServiceRetryBudgetExceeded` instead of sleeping —
+        honored hints must never extend total retry time unboundedly.
         """
         budget = self.retries if retries is None else max(0, retries)
+        started = time.monotonic()
         attempt = 0
         while True:
             try:
@@ -211,12 +245,20 @@ class ServiceClient:
                 if not retryable or attempt >= budget:
                     raise
                 delay = self._backoff(attempt, exc.retry_after)
+                cause: BaseException = exc
             except (
                 http.client.HTTPException, ConnectionError, OSError
-            ):
+            ) as exc:
                 if attempt >= budget:
                     raise
                 delay = self._backoff(attempt, None)
+                cause = exc
+            if self.max_elapsed_s is not None:
+                elapsed = time.monotonic() - started
+                if elapsed + delay > self.max_elapsed_s:
+                    raise ServiceRetryBudgetExceeded(
+                        elapsed, self.max_elapsed_s, attempt + 1
+                    ) from cause
             attempt += 1
             self.retried += 1
             self.backoff_slept_s += delay
@@ -365,5 +407,6 @@ __all__ = [
     "ServiceError",
     "ServiceOverloaded",
     "ServiceProtocolError",
+    "ServiceRetryBudgetExceeded",
     "ServiceTimeout",
 ]

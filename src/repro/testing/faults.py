@@ -184,6 +184,13 @@ POINTS = (
     "server.respond",    # raises while writing an HTTP response
     "obs.emit",          # raises inside telemetry emission (best-effort:
                          # a broken sink must never fail a request)
+    "queue.claim",       # delays / raises before a lease-file O_EXCL
+                         # create (duplicate-claim race widener)
+    "queue.lease",       # delays / raises in the stale-lease takeover
+                         # path, between expiry check and steal-rename
+    "queue.heartbeat",   # raises inside lease heartbeat renewal — a
+                         # failed renewal must abandon the job, never
+                         # publish over a new owner
 )
 
 __all__ = [

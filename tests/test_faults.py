@@ -114,6 +114,7 @@ class TestFaultInjector:
         assert set(POINTS) == {
             "store.read", "store.write", "store.crash",
             "engine.compute", "server.respond", "obs.emit",
+            "queue.claim", "queue.lease", "queue.heartbeat",
         }
 
 

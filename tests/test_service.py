@@ -600,3 +600,112 @@ class TestServiceBench:
             f for f in check_service(record)
             if "error rate" in f or "unexplained" in f
         ]
+
+
+class TestRetryBudget:
+    """``max_elapsed_s``: honored Retry-After hints cannot extend the
+    retry loop unboundedly (:class:`ServiceRetryBudgetExceeded`)."""
+
+    @staticmethod
+    def _client(**kwargs):
+        from repro.service.client import ServiceClient
+
+        kwargs.setdefault("retries", 5)
+        kwargs.setdefault("backoff_s", 0.001)
+        return ServiceClient(port=1, **kwargs)
+
+    def test_huge_retry_after_trips_the_budget(self, monkeypatch):
+        from repro.service.client import (
+            ServiceRetryBudgetExceeded, ServiceTimeout,
+        )
+
+        client = self._client(max_elapsed_s=0.5)
+
+        def always_503(*args, **kwargs):
+            raise ServiceTimeout(
+                503, {"error": "draining"}, retry_after=3600.0
+            )
+
+        monkeypatch.setattr(client, "_request_once", always_503)
+        slept = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", slept.append
+        )
+        with pytest.raises(ServiceRetryBudgetExceeded) as excinfo:
+            client.healthz()
+        # The budget tripped *before* sleeping out the server hint.
+        assert not slept
+        assert excinfo.value.max_elapsed_s == 0.5
+        assert excinfo.value.attempts == 1
+        assert isinstance(excinfo.value.__cause__, ServiceTimeout)
+
+    def test_budget_exhaustion_by_accumulated_attempts(
+        self, monkeypatch
+    ):
+        from repro.service.client import (
+            ServiceRetryBudgetExceeded, ServiceOverloaded,
+        )
+
+        client = self._client(retries=100, max_elapsed_s=0.05)
+
+        def always_shed(*args, **kwargs):
+            raise ServiceOverloaded(
+                429, {"error": "shed"}, retry_after=0.02
+            )
+
+        monkeypatch.setattr(client, "_request_once", always_shed)
+        with pytest.raises(ServiceRetryBudgetExceeded) as excinfo:
+            client.healthz()
+        # A few short sleeps fit, then the budget ends the loop long
+        # before the 100-attempt budget would have.
+        assert excinfo.value.attempts < 10
+        assert client.backoff_slept_s <= 0.05 + 0.02
+
+    def test_within_budget_retries_proceed(self, monkeypatch):
+        from repro.service.client import ServiceTimeout
+
+        client = self._client(retries=3, max_elapsed_s=30.0)
+        attempts = []
+
+        def flaky(*args, **kwargs):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ServiceTimeout(
+                    503, {"error": "drain"}, retry_after=0.001
+                )
+            return {"status": "ok"}
+
+        monkeypatch.setattr(client, "_request_once", flaky)
+        assert client.healthz() == {"status": "ok"}
+        assert len(attempts) == 3
+        assert client.retried == 2
+
+    def test_budget_disabled_with_none(self, monkeypatch):
+        from repro.service.client import ServiceTimeout
+
+        client = self._client(retries=2, max_elapsed_s=None)
+
+        def always_503(*args, **kwargs):
+            raise ServiceTimeout(
+                503, {"error": "draining"}, retry_after=0.001
+            )
+
+        monkeypatch.setattr(client, "_request_once", always_503)
+        # Attempts, not elapsed time, end the loop: the plain typed
+        # error surfaces once retries are spent.
+        with pytest.raises(ServiceTimeout):
+            client.healthz()
+        assert client.retried == 2
+
+    def test_non_retryable_unaffected_by_budget(self, monkeypatch):
+        from repro.service.client import ServiceError
+
+        client = self._client(max_elapsed_s=0.0)
+
+        def bad_request(*args, **kwargs):
+            raise ServiceError(400, {"error": "malformed"})
+
+        monkeypatch.setattr(client, "_request_once", bad_request)
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 400
