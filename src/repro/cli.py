@@ -379,12 +379,34 @@ def cmd_serve(args) -> int:
 
     configure_logging(level=args.log_level, json_mode=args.log_json)
     store = None if args.no_store else default_store()
+    if args.workers > 1:
+        # Pre-fork fleet: N worker processes on one port, sharing
+        # warm artifacts through the content-addressed store.
+        from repro.service.fleet import (
+            DEFAULT_WARM_PROFILES, ServingFleet,
+        )
+        warm = (
+            () if (args.no_warm_fill or store is None)
+            else DEFAULT_WARM_PROFILES
+        )
+        ServingFleet(
+            store_root=store.root if store is not None else None,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            threads=args.threads,
+            max_queue=args.max_queue,
+            deadline_ms=args.deadline_ms,
+            drain_timeout=args.drain_timeout,
+            warm_profiles=warm,
+        ).run()
+        return 0
     engine = PredictionEngine(store=store)
     PredictionService(
         engine=engine,
         host=args.host,
         port=args.port,
-        workers=args.workers,
+        workers=args.threads,
         max_queue=args.max_queue,
         deadline_ms=args.deadline_ms,
         drain_timeout=args.drain_timeout,
@@ -508,7 +530,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
     sp.add_argument("--kind", action="append", metavar="KIND",
                     help="restrict to one artifact kind (repeatable), "
-                         "e.g. traces")
+                         "e.g. traces; 'queue' sweeps aged done "
+                         "markers and orphaned lease files, "
+                         "'quarantine' empties the evidence tree")
     sp.add_argument("--older-than", type=float, metavar="DAYS",
                     help="only artifacts older than DAYS days")
     sp.add_argument("--stale-only", action="store_true",
@@ -590,8 +614,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bind address (default 127.0.0.1)")
     p.add_argument("--port", type=int, default=8000,
                    help="TCP port (default 8000; 0 = ephemeral)")
-    p.add_argument("--workers", type=int, default=2, metavar="N",
-                   help="engine worker threads (default 2)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes (default 1 = in-process; "
+                        "N>1 runs a pre-fork fleet on one port via "
+                        "SO_REUSEPORT, sharing warm artifacts through "
+                        "the store, with a respawning supervisor)")
+    p.add_argument("--threads", type=int, default=2, metavar="N",
+                   help="engine worker threads per process (default 2)")
+    p.add_argument("--no-warm-fill", action="store_true",
+                   help="skip the fleet's boot-time warm-fill of "
+                        "preset profiles through the work queue")
     p.add_argument("--no-store", action="store_true",
                    help="serve without the on-disk artifact store")
     p.add_argument("--max-queue", type=int, default=64, metavar="N",

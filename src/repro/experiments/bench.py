@@ -149,7 +149,23 @@ SERVICE_FLOORS: Dict[str, float] = {
     "max_unexplained_errors": 0,
     "max_malformed_sheds": 0,
     "max_hung_workers": 0,
+    #: Pre-fork fleet floors, committed at a >=4-core reference and
+    #: derated by ``min(4, cpus)/4`` (the ``cpus`` recorded in the
+    #: fleet section): 4 workers cannot beat 1 on a 1-core host, so a
+    #: shared CI runner is held to what its silicon can physically do
+    #: (see :func:`_fleet_floor_scale`).  The cold-mix scaling ratio
+    #: also never derates below 0.6 — whatever the host, adding
+    #: workers must not *collapse* throughput.
+    "fleet_cold_scaling_x": 2.5,
+    "fleet_warm_rps": 6000.0,
+    "fleet_min_cold_scaling_x": 0.6,
+    "fleet_min_respawns": 1,
 }
+
+
+def _fleet_floor_scale(cpus: int) -> float:
+    """Fraction of the 4-core reference floors this host is held to."""
+    return min(4, max(1, int(cpus))) / 4.0
 
 #: Committed work-queue robustness floors (``BENCH_work.json``): the
 #: distributed-runner contract under chaos.  A SIGKILL'd worker's
@@ -685,19 +701,28 @@ def run_service_bench(
     concurrency: int = 8,
     scale: float = 0.5,
     overload: bool = True,
+    fleet: bool = True,
 ) -> Dict:
     """Measure warm-cache serving throughput AND overload behavior.
 
     Boots the asyncio HTTP server on an ephemeral port (memory-only
     engine, so the record reflects this build, not a previous run's
-    disk cache), drives it with the closed-loop load generator, then
-    runs the chaos/overload scenarios (stampede, slow engine, kill
-    mid-burst) against dedicated servers.  Writes the schema-2
-    ``BENCH_service.json`` record: ``{"warm": ..., "overload": ...}``.
+    disk cache), drives it with the closed-loop load generator, runs
+    the chaos/overload scenarios (stampede, slow engine, kill
+    mid-burst) against dedicated servers, then the pre-fork fleet
+    sweep (aggregate rps at N=1/2/4 over a shared store + the
+    SIGKILL-respawn chaos scenario).  Writes the schema-3
+    ``BENCH_service.json`` record:
+    ``{"warm": ..., "overload": ..., "fleet": ...}``.
+
+    The fleet sweep spawns real worker processes, so the caller's
+    ``__main__`` module must be import-safe (pytest and ``python -m
+    repro`` both are).
     """
     from repro.service.engine import PredictionEngine
     from repro.service.loadgen import (
-        SERVICE_BENCH_SCHEMA, run_loadgen, run_overload_scenarios,
+        SERVICE_BENCH_SCHEMA, run_fleet_bench, run_loadgen,
+        run_overload_scenarios,
     )
     from repro.service.server import BackgroundServer
 
@@ -719,6 +744,10 @@ def run_service_bench(
             if overload else {}
         ),
     }
+    if fleet:
+        record["fleet"] = run_fleet_bench(
+            quick=quick, scale=scale, concurrency=concurrency,
+        )
     if output:
         with open(output, "w") as fh:
             json.dump(record, fh, indent=2)
@@ -788,6 +817,66 @@ def check_service(record: Dict) -> List[str]:
             "slow_engine: no deadline 503s despite the engine "
             "running ~10x past the deadline"
         )
+    failures.extend(check_fleet(record.get("fleet")))
+    return failures
+
+
+def check_fleet(fleet: Optional[Dict]) -> List[str]:
+    """Per-worker-scaling floors over the ``fleet`` record section.
+
+    The scaling and aggregate-rps floors are committed at a 4-core
+    reference and derated by the benched host's ``cpus`` — a 1-core
+    runner cannot parallelize 4 processes, but it must still not
+    *lose* throughput to the fleet machinery, and zero-unexplained /
+    respawn floors hold everywhere.
+    """
+    if not fleet:
+        return []
+    failures = []
+    scale_f = _fleet_floor_scale(fleet.get("cpus", 1))
+    scaling_floor = max(
+        SERVICE_FLOORS["fleet_min_cold_scaling_x"],
+        SERVICE_FLOORS["fleet_cold_scaling_x"] * scale_f,
+    )
+    scaling = fleet.get("cold_scaling_x", 0.0)
+    if scaling < scaling_floor:
+        failures.append(
+            f"fleet: cold-mix scaling {scaling:.2f}x below floor "
+            f"{scaling_floor:.2f}x (reference "
+            f"{SERVICE_FLOORS['fleet_cold_scaling_x']:.1f}x at >=4 "
+            f"cores, derated for {fleet.get('cpus', 1)} cpu(s))"
+        )
+    warm_floor = SERVICE_FLOORS["fleet_warm_rps"] * scale_f
+    warm_rps = fleet.get("warm_aggregate_rps", 0.0)
+    if warm_rps < warm_floor:
+        failures.append(
+            f"fleet: warm aggregate {warm_rps:.0f} req/s below floor "
+            f"{warm_floor:.0f} req/s (reference "
+            f"{SERVICE_FLOORS['fleet_warm_rps']:.0f} at >=4 cores, "
+            f"derated for {fleet.get('cpus', 1)} cpu(s))"
+        )
+    for n, rec in fleet.get("workers", {}).items():
+        for profile in ("warm", "cold"):
+            failures.extend(
+                _check_scenario(f"fleet[N={n}] {profile}", rec[profile])
+            )
+            if rec[profile]["ok"] == 0:
+                failures.append(
+                    f"fleet[N={n}] {profile}: zero successful requests"
+                )
+    chaos = fleet.get("chaos")
+    if chaos is not None:
+        failures.extend(_check_scenario("fleet kill_worker", chaos))
+        if chaos["respawns"] < SERVICE_FLOORS["fleet_min_respawns"]:
+            failures.append(
+                "fleet kill_worker: the supervisor never respawned "
+                "the SIGKILL'd worker"
+            )
+        if not chaos.get("post_kill_ok"):
+            failures.append(
+                "fleet kill_worker: no successful request after the "
+                "kill — the fleet did not keep serving"
+            )
     return failures
 
 
@@ -817,6 +906,35 @@ def render_service(record: Dict) -> str:
             f"drops, {rec['unexplained_errors']} unexplained, "
             f"{rec['hung_workers']} hung"
         )
+    fleet = record.get("fleet")
+    if fleet:
+        lines.append(
+            f"  fleet ({fleet['cpus']} cpu(s), floors derated x"
+            f"{_fleet_floor_scale(fleet['cpus']):.2f}):"
+        )
+        for n, rec in sorted(
+            fleet.get("workers", {}).items(), key=lambda kv: int(kv[0])
+        ):
+            lines.append(
+                f"    N={n}: warm {rec['warm']['goodput_rps']:7.0f} "
+                f"req/s  cold {rec['cold']['goodput_rps']:7.0f} req/s"
+                f"  ({len(rec['cold'].get('workers', {}))} worker(s) "
+                f"served)"
+            )
+        lines.append(
+            f"    cold scaling {fleet.get('cold_scaling_x', 0):.2f}x, "
+            f"warm aggregate {fleet.get('warm_aggregate_rps', 0):.0f} "
+            f"req/s"
+        )
+        chaos = fleet.get("chaos")
+        if chaos:
+            lines.append(
+                f"    kill_worker: {chaos['ok']} ok, "
+                f"{chaos['connection_errors']} conn drops, "
+                f"{chaos['unexplained_errors']} unexplained, "
+                f"{chaos['respawns']} respawn(s), post-kill "
+                f"{'ok' if chaos.get('post_kill_ok') else 'FAILED'}"
+            )
     return "\n".join(lines)
 
 

@@ -28,8 +28,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import mmap
 import os
 import pickle
+import struct
 import tempfile
 import threading
 import time
@@ -41,9 +43,12 @@ from typing import Any, Dict, Optional
 from repro.profiler.profile import ILPTable, WorkloadProfile
 from repro.testing.faults import FAULTS, SimulatedCrash
 from repro.workloads.engine import (
+    ARENA_MAGIC,
     ExpansionEngine,
     default_engine,
+    load_trace_arena,
     pack_trace,
+    pack_trace_arena,
     unpack_trace,
 )
 from repro.workloads.ir import WorkloadTrace
@@ -57,6 +62,20 @@ SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache root.
 CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: Store-generation stamp: ``<root>/GENERATION`` holds a monotonically
+#: bumped integer.  Resident caches (the serving engine's LRUs) record
+#: the generation they were filled under and drop their entries when a
+#: newer one appears — the cross-process invalidation contract for a
+#: shared artifact plane.  Consumers compare for *inequality* only, so
+#: a lost increment under a write race merely delays nothing: any
+#: successful bump still changes the value.
+GENERATION_FILE = "GENERATION"
+
+#: Store subdirectories that hold coordination state, not artifacts:
+#: the work queue (``queue/jobs|leases|done|events``) and the serving
+#: fleet's heartbeat files (``fleet/``).
+_NON_ARTIFACT_DIRS = frozenset({"quarantine", "queue", "fleet"})
 
 
 def _canonical(obj: Any) -> Any:
@@ -114,6 +133,11 @@ class StoreCounters:
 
     _FIELDS = (
         "writes",
+        #: Publishes that replaced an already-published artifact — in a
+        #: multi-writer fleet this counts the duplicate computations
+        #: the shared store absorbed (last-writer-wins is sound: both
+        #: writers produced bit-identical content-addressed artifacts).
+        "duplicate_writes",
         "dropped_writes",
         "io_errors",
         "corrupt",
@@ -260,10 +284,10 @@ class ProfileStore:
         error.
         """
         try:
-            return sorted(
+            return sorted({
                 p.stem for p in (self.root / kind).iterdir()
-                if p.suffix in (".json", ".pkl")
-            )
+                if p.suffix in (".json", ".pkl", ".arena")
+            })
         except OSError:
             return []
 
@@ -363,9 +387,16 @@ class ProfileStore:
             # temp-file write and the rename must leave the published
             # path untouched and only an orphan ``*.tmp`` behind.
             FAULTS.fire("store.crash")
+            # Best-effort duplicate detection (racy by nature): a
+            # publish over an existing artifact means another writer
+            # got here first — the cross-process recompute the shared
+            # cache is meant to absorb, surfaced as a counter.
+            duplicate = path.exists()
             os.replace(tmp, path)
             self._fsync_dir(path.parent)
             self.counters.bump("writes")
+            if duplicate:
+                self.counters.bump("duplicate_writes")
         except BaseException as exc:
             if isinstance(exc, SimulatedCrash):
                 raise  # a real crash runs no cleanup; prune reclaims
@@ -451,9 +482,30 @@ class ProfileStore:
         self.counters.healthy_load()
         return table
 
-    # -- traces (pickle, columnar, content-addressed) -----------------------
+    # -- traces (raw-buffer arena, mmap-loaded; pickle for compat) ----------
 
     def save_trace(self, key: str, trace: WorkloadTrace) -> Path:
+        """Persist a trace in the raw-buffer arena layout.
+
+        The arena is the primary on-disk format: loads mmap it and
+        build ``TraceBlock`` views straight over the mapping (no
+        pickle copy on the hot read path).  The schema version and
+        content digest travel in the arena's metadata header.
+        """
+        path = self._path("traces", key, "arena")
+        payload = pack_trace_arena(trace, meta={
+            "schema": SCHEMA_VERSION,
+            "digest": trace.content_digest(),
+        })
+        self._write(path, payload)
+        return path
+
+    def save_trace_pickle(self, key: str, trace: WorkloadTrace) -> Path:
+        """Persist a trace in the legacy pickle-envelope format.
+
+        Kept as the compatibility format: loads fall back to it, so a
+        cache directory written by an older build keeps serving hits.
+        """
         path = self._path("traces", key, "pkl")
         payload = pickle.dumps({
             "schema": SCHEMA_VERSION,
@@ -464,6 +516,10 @@ class ProfileStore:
         return path
 
     def load_trace(self, key: str) -> Optional[WorkloadTrace]:
+        """Load a trace: mmap-backed arena first, pickle fallback."""
+        trace = self._load_trace_arena(key)
+        if trace is not None:
+            return trace
         payload = self._load("traces", key, "pkl")
         if payload is None:
             return None
@@ -479,6 +535,55 @@ class ProfileStore:
             self._quarantine(
                 self._path("traces", key, "pkl"), "traces", "corrupt"
             )
+            return None
+        self.counters.healthy_load()
+        return trace
+
+    def _load_trace_arena(self, key: str) -> Optional[WorkloadTrace]:
+        """Zero-copy arena load: mmap + ``TraceBlock`` views over it.
+
+        The mapping is read-only (``ACCESS_READ``), so every column
+        comes out ``writeable=False`` — a consumer mutating a view
+        raises instead of corrupting the mapping other processes
+        share.  The digest check pages the columns in once but copies
+        nothing; the mapping stays alive through the arrays' ``.base``
+        chain after the file descriptor closes.
+        """
+        path = self._path("traces", key, "arena")
+        try:
+            fh = open(path, "rb")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.counters.bump("io_errors")
+            return None
+        try:
+            with fh:
+                # Error-type ``store.read`` faults apply to this path
+                # too (payload-mutation faults cannot touch a shared
+                # read-only mapping and pass through).
+                FAULTS.fire("store.read", b"")
+                buf = mmap.mmap(
+                    fh.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.counters.bump("io_errors")
+            return None
+        except ValueError:  # zero-length file cannot be mapped
+            self._quarantine(path, "traces", "corrupt")
+            return None
+        try:
+            meta, trace = load_trace_arena(buf)
+            if meta.get("schema") != SCHEMA_VERSION:
+                self._quarantine(path, "traces", "schema")
+                return None
+            trace.validate()
+            if trace.content_digest() != meta.get("digest"):
+                raise ValueError("trace content digest mismatch")
+        except Exception:
+            self._quarantine(path, "traces", "corrupt")
             return None
         self.counters.healthy_load()
         return trace
@@ -513,7 +618,7 @@ class ProfileStore:
         try:
             return sorted(
                 p for p in (self.root / kind).iterdir()
-                if p.suffix in (".json", ".pkl")
+                if p.suffix in (".json", ".pkl", ".arena")
             )
         except OSError:
             return []
@@ -521,14 +626,15 @@ class ProfileStore:
     def kinds(self) -> list:
         """Artifact kinds present under the store root.
 
-        ``quarantine`` is not a kind — it holds evidence, not cache
-        entries — so it is excluded here and reported separately by
-        :meth:`stats` / :meth:`health`.
+        ``quarantine`` (bad-artifact evidence), ``queue`` (work-queue
+        coordination state) and ``fleet`` (serving-fleet heartbeats)
+        are not artifact kinds — they are excluded here and reported
+        separately by :meth:`stats` / :meth:`health`.
         """
         try:
             return sorted(
                 d.name for d in self.root.iterdir()
-                if d.is_dir() and d.name != "quarantine"
+                if d.is_dir() and d.name not in _NON_ARTIFACT_DIRS
             )
         except OSError:
             return []
@@ -556,7 +662,10 @@ class ProfileStore:
         """Per-kind artifact counts and byte totals (best effort).
 
         Quarantined artifacts appear as ``quarantine/<kind>`` entries
-        so a rotting cache is visible from ``repro store stats``.
+        so a rotting cache is visible from ``repro store stats``;
+        work-queue state (jobs, leases, done markers) appears as
+        ``queue/<sub>`` entries and fleet heartbeats as ``fleet`` so
+        coordination debris is just as visible.
         """
         out: Dict[str, Dict[str, int]] = {}
         for kind in self.kinds():
@@ -578,11 +687,19 @@ class ProfileStore:
             qdirs = []
         for qdir in qdirs:
             out[f"quarantine/{qdir.name}"] = self._dir_stats(qdir)
+        for sub in ("jobs", "leases", "done", "events"):
+            qdir = self.root / "queue" / sub
+            if qdir.is_dir():
+                out[f"queue/{sub}"] = self._dir_stats(qdir)
+        fleet_dir = self.root / "fleet"
+        if fleet_dir.is_dir():
+            out["fleet"] = self._dir_stats(fleet_dir)
         return out
 
     def health(self) -> Dict[str, Any]:
         """Counter snapshot + quarantine inventory for ``/healthz``."""
         out: Dict[str, Any] = self.counters.snapshot()
+        out["generation"] = self.generation()
         out["quarantine"] = {
             kind.split("/", 1)[1]: entry["artifacts"]
             for kind, entry in self.stats().items()
@@ -590,11 +707,59 @@ class ProfileStore:
         }
         return out
 
+    # -- generation stamp ---------------------------------------------------
+
+    def generation(self) -> int:
+        """The store's current generation stamp (0 when unstamped)."""
+        try:
+            raw = (self.root / GENERATION_FILE).read_text().strip()
+            return int(raw) if raw else 0
+        except (OSError, ValueError):
+            return 0
+
+    def bump_generation(self) -> int:
+        """Advance the generation stamp (atomic temp-file + rename).
+
+        Called when persisted artifacts change under resident caches
+        (a prune, an out-of-band store rewrite): engines polling
+        :meth:`generation` drop their LRUs on the next check.  A lost
+        increment under a concurrent bump is harmless — consumers
+        compare for inequality, and any successful bump changes the
+        value they saw.
+        """
+        gen = self.generation() + 1
+        path = self.root / GENERATION_FILE
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=GENERATION_FILE, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(gen))
+                fh.flush()
+                try:
+                    os.fsync(fh.fileno())
+                except OSError:
+                    self.counters.bump("io_errors")
+            os.replace(tmp, path)
+            self._fsync_dir(path.parent)
+        except OSError:
+            if self.strict:
+                raise
+            self.counters.bump("dropped_writes")
+        return gen
+
     def _artifact_schema(self, path: Path) -> Optional[int]:
         """Embedded schema of one artifact; None when unreadable."""
         try:
             with open(path, "rb") as fh:
-                if path.suffix == ".json":
+                if path.suffix == ".arena":
+                    if fh.read(len(ARENA_MAGIC)) != ARENA_MAGIC:
+                        return None
+                    (hlen,) = struct.unpack("<Q", fh.read(8))
+                    header = pickle.loads(fh.read(hlen))
+                    payload = header.get("meta", {})
+                elif path.suffix == ".json":
                     payload = json.load(fh)
                 else:
                     payload = pickle.load(fh)
@@ -614,7 +779,8 @@ class ProfileStore:
 
         ``kinds`` restricts the sweep (default: every kind present;
         pass ``"quarantine"`` explicitly to empty the quarantine tree
-        — the default sweep preserves it as evidence).
+        — the default sweep preserves it as evidence — and ``"queue"``
+        to sweep aged work-queue debris, see :meth:`prune_queue`).
         ``older_than_s`` keeps artifacts younger than the cutoff;
         ``stale_only`` removes only artifacts whose embedded schema is
         not the current :data:`SCHEMA_VERSION` (or that cannot be read
@@ -627,6 +793,11 @@ class ProfileStore:
         tolerates concurrent writers: a file vanishing between
         ``iterdir()`` and ``stat()``/``unlink()`` is skipped, not an
         error.
+
+        A sweep that actually removed artifacts bumps the store
+        generation (see :meth:`bump_generation`), so resident engine
+        LRUs across the fleet drop entries derived from the pruned
+        artifacts on their next generation check.
         """
         now = time.time()
         out: Dict[str, Dict[str, int]] = {}
@@ -635,6 +806,11 @@ class ProfileStore:
                 out[kind] = self._prune_tree(
                     self.root / "quarantine", older_than_s, dry_run, now
                 )
+                continue
+            if kind == "queue":
+                out.update(self.prune_queue(
+                    older_than_s=older_than_s, dry_run=dry_run
+                ))
                 continue
             removed = 0
             nbytes = 0
@@ -667,6 +843,100 @@ class ProfileStore:
                 removed += 1
                 nbytes += st.st_size
             out[kind] = {"removed": removed, "bytes": nbytes}
+        # Queue debris is coordination state, not artifacts — sweeping
+        # it invalidates nothing resident.
+        if not dry_run and any(
+            entry["removed"] for kind, entry in out.items()
+            if not kind.startswith("queue/")
+        ):
+            self.bump_generation()
+        return out
+
+    def prune_queue(
+        self,
+        older_than_s: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> Dict[str, Dict[str, int]]:
+        """Sweep aged work-queue debris under ``<root>/queue/``.
+
+        Two classes of debris accumulate under a long-lived queue:
+
+        * **aged done markers** (``done/<key>.json``) — the
+          exactly-once dedup record; safe to drop once old enough that
+          nothing will re-enqueue the job (a re-run then simply
+          recomputes into the content-addressed store);
+        * **orphaned leases** (``leases/<key>.lease``) — left behind
+          when a worker died after its job file was consumed (or the
+          job was completed by a successor): a lease with *no matching
+          job file* can never be released by the normal protocol.
+
+        Both sweeps honor ``older_than_s`` as an age guard; orphaned
+        leases additionally require being older than one default lease
+        period, so a claim racing this sweep (job unlinked between our
+        two scans) is never swept.  Plain filesystem logic — no
+        dependency on :mod:`repro.experiments.workqueue`, which
+        imports back into this module's consumers.
+        """
+        now = time.time()
+        qroot = self.root / "queue"
+        out: Dict[str, Dict[str, int]] = {}
+
+        def _sweep(paths, min_age_s: float) -> Dict[str, int]:
+            removed = 0
+            nbytes = 0
+            for path in paths:
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                if (now - st.st_mtime) < min_age_s:
+                    continue
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                removed += 1
+                nbytes += st.st_size
+            return {"removed": removed, "bytes": nbytes}
+
+        try:
+            done = sorted((qroot / "done").glob("*.json"))
+        except OSError:
+            done = []
+        out["queue/done"] = _sweep(done, older_than_s or 0.0)
+
+        # Orphaned leases: no pending job file shares the lease's key.
+        # Job files are named ``p<priority>-<key>.json``.
+        try:
+            job_keys = {
+                p.stem.split("-", 1)[1]
+                for p in (qroot / "jobs").glob("*.json")
+                if "-" in p.stem
+            }
+        except OSError:
+            job_keys = set()
+        try:
+            leases = sorted((qroot / "leases").glob("*.lease"))
+        except OSError:
+            leases = []
+        orphans = [p for p in leases if p.stem not in job_keys]
+        # Never race an in-flight claim: a just-acquired lease whose
+        # job file we happened to miss must age past a full lease
+        # period (plus the caller's cutoff) before it is debris.
+        min_age = max(older_than_s or 0.0, 60.0)
+        out["queue/leases"] = _sweep(orphans, min_age)
+
+        # Crashed enqueuers leave ``*.tmp-<owner>-<pid>`` files next
+        # to the real ones; sweep them behind the same age guard so a
+        # live enqueue mid-rename is never raced.
+        tmp_files = []
+        for sub in ("jobs", "leases", "done", "events"):
+            try:
+                tmp_files.extend((qroot / sub).glob("*.tmp*"))
+            except OSError:
+                continue
+        out["queue/tmp"] = _sweep(sorted(tmp_files), min_age)
         return out
 
     def _prune_tree(

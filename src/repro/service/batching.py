@@ -61,6 +61,17 @@ class LRUCache:
         with self._lock:
             return list(self._data.items())
 
+    def clear(self) -> int:
+        """Drop every entry; returns how many were evicted.
+
+        Hit/miss counters survive — invalidation is not amnesia about
+        past performance.
+        """
+        with self._lock:
+            dropped = len(self._data)
+            self._data.clear()
+            return dropped
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)

@@ -139,6 +139,10 @@ class ServiceClient:
         #: Retry observability (the loadgen reports these).
         self.retried = 0
         self.backoff_slept_s = 0.0
+        #: ``X-Worker-Id`` of the last response — which fleet worker
+        #: served us.  ``None`` before any response (or against a
+        #: pre-fleet server that does not send the header).
+        self.last_worker_id: Optional[str] = None
 
     # -- plumbing -----------------------------------------------------------
 
@@ -199,6 +203,9 @@ class ServiceClient:
         retry_after = _parse_retry_after(
             response.getheader("Retry-After")
         )
+        worker = response.getheader("X-Worker-Id")
+        if worker is not None:
+            self.last_worker_id = worker
         try:
             decoded = json.loads(data)
         except ValueError:

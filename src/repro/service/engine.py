@@ -30,6 +30,7 @@ service's JSON schema *and* the CLI's text output, which is what makes
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -121,6 +122,9 @@ class EngineStats:
     profiles_from_store: int = 0
     predictions_run: int = 0
     simulations_run: int = 0
+    #: Times the engine dropped its LRUs because a newer store
+    #: generation appeared (another fleet worker pruned or republished).
+    invalidations: int = 0
 
 
 class ServiceError(Exception):
@@ -168,6 +172,15 @@ class PredictionEngine:
         self._seeds = LRUCache(4096)
         self._lock = threading.Lock()
         self.stats = EngineStats()
+        #: Version-stamped invalidation: the store generation this
+        #: engine's resident LRUs were warmed against.  Re-checked at
+        #: most every ``_GEN_CHECK_TTL_S`` on the request path — a
+        #: monotonic-clock throttle, not per request, so the stat()
+        #: never shows up in a profile.
+        self._generation = (
+            self.store.generation() if self.store is not None else 0
+        )
+        self._gen_checked_at = time.monotonic()
 
     @property
     def traces(self):
@@ -189,6 +202,40 @@ class PredictionEngine:
     def _bump(self, attr: str, by: int = 1) -> None:
         with self._lock:
             setattr(self.stats, attr, getattr(self.stats, attr) + by)
+
+    # -- version-stamped invalidation ----------------------------------------
+
+    #: Seconds between store-generation re-checks on the request path.
+    _GEN_CHECK_TTL_S = 0.5
+
+    def _check_generation(self) -> None:
+        """Drop resident LRUs when the shared store moved generations.
+
+        Fleet workers share artifacts through the content-addressed
+        store; a prune (or any future republish) bumps the store's
+        generation stamp, and every resident engine notices within one
+        TTL and drops its memoised payloads and profiles rather than
+        serving entries the store no longer backs.
+        """
+        if self.store is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            if (now - self._gen_checked_at) < self._GEN_CHECK_TTL_S:
+                return
+            self._gen_checked_at = now
+            known = self._generation
+        current = self.store.generation()
+        if current == known:
+            return
+        with self._lock:
+            if self._generation == current:
+                return  # another thread already invalidated
+            self._generation = current
+            self.stats.invalidations += 1
+        self._profiles.clear()
+        self.results.clear()
+        self._seeds.clear()
 
     # -- workload / profile resolution --------------------------------------
 
@@ -265,6 +312,7 @@ class PredictionEngine:
         request = ServiceRequest(
             "predict", benchmark, config, cores, scale
         )
+        self._check_generation()
         self._count("requests", "predict")
         cached = self.results.get(request.key())
         if cached is not None:
@@ -293,6 +341,7 @@ class PredictionEngine:
         request = ServiceRequest(
             "compare", benchmark, config, cores, scale
         )
+        self._check_generation()
         self._count("requests", "compare")
         cached = self.results.get(request.key())
         if cached is not None:
@@ -320,6 +369,7 @@ class PredictionEngine:
         request = ServiceRequest(
             "sweep", benchmark, "", cores, scale, tuple(configs)
         )
+        self._check_generation()
         self._count("requests", "sweep")
         cached = self.results.get(request.key())
         if cached is not None:
@@ -372,6 +422,8 @@ class PredictionEngine:
                 "profiles_from_store": self.stats.profiles_from_store,
                 "predictions_run": self.stats.predictions_run,
                 "simulations_run": self.stats.simulations_run,
+                "invalidations": self.stats.invalidations,
+                "store_generation": self._generation,
             }
         stats["result_cache"] = self.results.stats()
         stats["profile_cache"] = self._profiles.stats()

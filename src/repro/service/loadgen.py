@@ -44,7 +44,12 @@ from repro.service.client import (
 #: 2: typed outcome classification (ok / shed / unavailable /
 #: protocol / connection / unexplained), goodput + shed-rate, retry
 #: accounting, and the ``overload`` scenario records.
-SERVICE_BENCH_SCHEMA = 2
+#: 3: the pre-fork fleet — per-worker latency breakdowns keyed by the
+#: ``X-Worker-Id`` response header, the ``fleet`` section (aggregate
+#: rps at N=1/2/4 under warm and cold-mix profiles, scaling ratios, a
+#: SIGKILL-respawn chaos record) and the host ``cpus`` the scaling
+#: floors derate by.
+SERVICE_BENCH_SCHEMA = 3
 
 _OUTCOMES = (
     "ok",
@@ -133,6 +138,10 @@ def _drive(
     """
     counts = {name: 0 for name in _OUTCOMES}
     latencies: List[float] = []
+    #: Per *serving* worker (the X-Worker-Id response header):
+    #: successes and their latencies, so a multi-worker fleet's p99
+    #: can be localized to the one cold/slow worker skewing it.
+    by_server: Dict[str, Dict] = {}
     retried = [0]
     sink_lock = threading.Lock()
     barrier = threading.Barrier(concurrency + 1)
@@ -142,6 +151,7 @@ def _drive(
         with ServiceClient(host, port, retries=retries) as client:
             mine = {name: 0 for name in _OUTCOMES}
             lat: List[float] = []
+            mine_servers: Dict[str, Dict] = {}
             try:
                 barrier.wait(timeout=30)
             except threading.BrokenBarrierError:
@@ -156,14 +166,30 @@ def _drive(
                 except Exception as exc:
                     mine[_classify(exc)] += 1
                 else:
+                    elapsed = time.perf_counter() - t0
                     mine["ok"] += 1
-                    lat.append(time.perf_counter() - t0)
+                    lat.append(elapsed)
+                    # Only successes carry a trustworthy worker id —
+                    # a transport error has no response header.
+                    served_by = client.last_worker_id
+                    if served_by is not None:
+                        entry = mine_servers.setdefault(
+                            served_by, {"ok": 0, "lat": []}
+                        )
+                        entry["ok"] += 1
+                        entry["lat"].append(elapsed)
                 iteration += 1
             with sink_lock:
                 for name, value in mine.items():
                     counts[name] += value
                 latencies.extend(lat)
                 retried[0] += client.retried
+                for served_by, entry in mine_servers.items():
+                    merged = by_server.setdefault(
+                        served_by, {"ok": 0, "lat": []}
+                    )
+                    merged["ok"] += entry["ok"]
+                    merged["lat"].extend(entry["lat"])
 
     threads = [
         threading.Thread(target=_run, args=(i,), daemon=True)
@@ -201,6 +227,24 @@ def _drive(
             "p99": float(np.percentile(lat, 99)) if ok else 0.0,
             "max": float(lat.max()) if ok else 0.0,
         },
+        "workers": {
+            served_by: {
+                "ok": entry["ok"],
+                "latency_ms": _lat_summary(entry["lat"]),
+            }
+            for served_by, entry in sorted(by_server.items())
+        },
+    }
+
+
+def _lat_summary(samples: List[float]) -> Dict[str, float]:
+    if not samples:
+        return {"mean": 0.0, "p50": 0.0, "p99": 0.0}
+    arr = np.asarray(samples, dtype=np.float64) * 1e3
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
     }
 
 
@@ -447,8 +491,215 @@ def run_overload_scenarios(
     }
 
 
+# -- pre-fork fleet benchmarks ------------------------------------------------
+
+
+def _cold_mix_call(
+    benchmark: str, scale: float
+) -> Callable[[ServiceClient, int, int], dict]:
+    """A request stream no result LRU can absorb.
+
+    Cycles every Table IV config crossed with 1..1024 cores — more
+    distinct request keys than the engine's result cache holds, so
+    each request is a real Eq.-1 evaluation.  The *profile* stays
+    resident (cores and config are not part of the profile key), which
+    is exactly the cold-traffic shape the fleet exists for: compute
+    bound, GIL-limited in one process.
+    """
+    from repro.arch.presets import TABLE_IV
+
+    names = tuple(TABLE_IV)
+
+    def call(client: ServiceClient, worker_id: int, i: int) -> dict:
+        idx = worker_id * 7919 + i
+        return client.predict(
+            benchmark=benchmark,
+            config=names[idx % len(names)],
+            cores=1 + ((idx // len(names)) % 1024),
+            scale=scale,
+            retries=0,
+        )
+
+    return call
+
+
+def _drive_fleet(
+    port: int,
+    call: Callable[[ServiceClient, int, int], dict],
+    duration_s: float,
+    concurrency: int,
+    warmup_s: float = 0.3,
+) -> Dict:
+    """Warm every fleet worker via the same kernel balancing, then time."""
+    if warmup_s > 0:
+        _drive(
+            "127.0.0.1", port, call, duration_s=warmup_s,
+            concurrency=concurrency, retries=0,
+        )
+    return _drive(
+        "127.0.0.1", port, call, duration_s=duration_s,
+        concurrency=concurrency, retries=0,
+    )
+
+
+def _scenario_kill_fleet_worker(
+    store_root,
+    benchmark: str,
+    scale: float,
+    duration_s: float,
+    concurrency: int = 8,
+) -> Dict:
+    """SIGKILL one fleet worker mid-burst; the fleet must keep serving.
+
+    Acceptable outcomes during the kill window: success (the sibling
+    worker, or the respawn) and connection errors (requests in flight
+    on — or kernel-routed to — the dead worker's sockets).  The
+    supervisor must respawn the worker and a post-burst request must
+    succeed; nothing may be unexplained.
+    """
+    from repro.service.fleet import ServingFleet, wait_fleet_ready
+
+    fleet = ServingFleet(
+        store_root=store_root, workers=2, threads=2,
+        respawn=True, drain_timeout=2.0,
+        warm_profiles=((benchmark, scale),),
+    )
+    fleet.start()
+    fleet.watch()
+    killed = {"pid": None}
+    killer = threading.Timer(
+        duration_s / 2, lambda: killed.update(
+            pid=fleet.kill_worker(0)
+        )
+    )
+    try:
+        wait_fleet_ready("127.0.0.1", fleet.port, 2)
+
+        def call(client: ServiceClient, worker_id: int, i: int) -> dict:
+            return client.predict(
+                benchmark=benchmark, scale=scale,
+                cores=1 + (i % 4), retries=0,
+            )
+
+        _drive(  # warm both workers before the chaos window
+            "127.0.0.1", fleet.port, call, duration_s=0.3,
+            concurrency=concurrency, retries=0,
+        )
+        killer.start()
+        drive = _drive(
+            "127.0.0.1", fleet.port, call,
+            duration_s=duration_s, concurrency=concurrency,
+            retries=0, join_grace_s=10.0,
+        )
+        # The respawned worker must be serving again.
+        wait_fleet_ready("127.0.0.1", fleet.port, 2, timeout_s=30.0)
+        with ServiceClient(port=fleet.port, retries=2) as probe:
+            post_kill_ok = bool(
+                probe.predict(benchmark=benchmark, scale=scale)
+            )
+        respawns = fleet.respawns
+    finally:
+        killer.cancel()
+        fleet.stop()
+    return {
+        "scenario": "kill_fleet_worker",
+        "concurrency": concurrency,
+        "killed_at_s": duration_s / 2,
+        "killed_pid": killed["pid"],
+        "respawns": respawns,
+        "post_kill_ok": post_kill_ok,
+        **drive,
+    }
+
+
+def run_fleet_bench(
+    quick: bool = False,
+    workers: tuple = (1, 2, 4),
+    benchmark: str = "rodinia.nn",
+    scale: float = 0.5,
+    concurrency: int = 8,
+    store_root=None,
+) -> Dict:
+    """The ``fleet`` section of BENCH_service.json schema 3.
+
+    Boots a pre-fork fleet at each worker count over one *shared*
+    store (so every fleet after the first starts artifact-warm — the
+    sharing the tentpole is about), drives a warm profile (one hot
+    request key: measures the serving plane) and a cold mix (distinct
+    keys: measures GIL-escape scaling), then runs the SIGKILL-respawn
+    chaos scenario.  Records host ``cpus`` — the scaling floors are
+    committed at a 4-core reference and derated by ``min(4, cpus)/4``
+    so a 1-core CI runner is held to what 1 core can physically do.
+    """
+    import os
+    import tempfile
+    from pathlib import Path
+
+    from repro.service.fleet import ServingFleet, wait_fleet_ready
+
+    duration_s = 1.0 if quick else 2.5
+    record: Dict = {
+        "cpus": os.cpu_count() or 1,
+        "duration_s": duration_s,
+        "benchmark": benchmark,
+        "scale": scale,
+        "concurrency": concurrency,
+        "workers": {},
+    }
+    cleanup = None
+    if store_root is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-fleet-bench-")
+        store_root = Path(cleanup.name)
+    try:
+        warm_params = {
+            "benchmark": benchmark, "scale": scale, "retries": 0,
+        }
+
+        def warm_call(client: ServiceClient, wid: int, i: int) -> dict:
+            return client.predict(**warm_params)
+
+        for n in workers:
+            fleet = ServingFleet(
+                store_root=store_root, workers=n, threads=2,
+                warm_profiles=((benchmark, scale),),
+            )
+            fleet.start()
+            fleet.watch()
+            try:
+                wait_fleet_ready("127.0.0.1", fleet.port, n)
+                warm = _drive_fleet(
+                    fleet.port, warm_call,
+                    duration_s=duration_s, concurrency=concurrency,
+                )
+                cold = _drive_fleet(
+                    fleet.port, _cold_mix_call(benchmark, scale),
+                    duration_s=duration_s, concurrency=concurrency,
+                )
+            finally:
+                fleet.stop()
+            record["workers"][str(n)] = {"warm": warm, "cold": cold}
+        lo, hi = str(min(workers)), str(max(workers))
+        lo_cold = record["workers"][lo]["cold"]["goodput_rps"]
+        hi_cold = record["workers"][hi]["cold"]["goodput_rps"]
+        record["cold_scaling_x"] = (
+            hi_cold / lo_cold if lo_cold > 0 else 0.0
+        )
+        record["warm_aggregate_rps"] = (
+            record["workers"][hi]["warm"]["goodput_rps"]
+        )
+        record["chaos"] = _scenario_kill_fleet_worker(
+            store_root, benchmark, scale, duration_s,
+            concurrency=concurrency,
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    return record
+
+
 __all__ = [
     "SERVICE_BENCH_SCHEMA",
+    "run_fleet_bench",
     "run_loadgen",
     "run_overload_scenarios",
 ]

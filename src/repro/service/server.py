@@ -62,10 +62,13 @@ import contextlib
 import dataclasses
 import json
 import math
+import os
 import signal
+import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
@@ -105,6 +108,10 @@ _DISCONNECT_POLL_S = 0.05
 #: Retry-After is clamped to [1, 60] seconds — long enough to matter,
 #: short enough that honest clients come back.
 _MAX_RETRY_AFTER_S = 60
+#: Fleet heartbeat cadence: each worker rewrites its
+#: ``fleet/worker-<id>.json`` this often; the aggregate ``/healthz``
+#: treats a file older than three beats as a dead worker.
+FLEET_HEARTBEAT_S = 1.0
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -135,6 +142,10 @@ class PredictionService:
         max_queue: int = 64,
         deadline_ms: Optional[float] = None,
         drain_timeout: float = 5.0,
+        worker_id: int = 0,
+        reuse_port: bool = False,
+        sock: Optional[socket.socket] = None,
+        fleet_state_dir: Optional[Path] = None,
     ) -> None:
         self.engine = engine if engine is not None else PredictionEngine()
         self.host = host
@@ -143,6 +154,26 @@ class PredictionService:
         self.max_queue = max(1, max_queue)
         self.deadline_ms = deadline_ms
         self.drain_timeout = drain_timeout
+        #: Fleet identity: which pre-fork worker this process is.  A
+        #: single-process service is worker 0; every response carries
+        #: it as ``X-Worker-Id`` so load generators can localize a
+        #: slow worker, and ``repro_worker_requests_total{worker=...}``
+        #: keys on it.
+        self.worker_id = int(worker_id)
+        #: Bind with SO_REUSEPORT (Linux kernel-level accept
+        #: balancing).  Ignored when ``sock`` is passed.
+        self.reuse_port = bool(reuse_port)
+        #: A pre-bound listening socket inherited from a fleet parent
+        #: (the non-SO_REUSEPORT fallback path).
+        self._inherited_sock = sock
+        #: Directory of per-worker heartbeat files; when set, a
+        #: daemon thread publishes this worker's liveness there and
+        #: ``/healthz`` grows a fleet aggregate block.
+        self.fleet_state_dir = (
+            Path(fleet_state_dir) if fleet_state_dir is not None else None
+        )
+        self._heartbeat_stop: Optional[threading.Event] = None
+        self._heartbeat_thread: Optional[threading.Thread] = None
         #: Per-service registry: admission counters live here (not in
         #: the process-global one) so parallel test servers stay
         #: isolated; ``/metrics`` renders both merged.  These counter
@@ -169,6 +200,11 @@ class PredictionService:
         self._m_response_failures = self.metrics.counter(
             "repro_response_failures_total",
             "Responses that failed to reach the client",
+        )
+        self._m_worker_requests = self.metrics.counter(
+            "repro_worker_requests_total",
+            "HTTP requests served, by fleet worker",
+            labels=("worker",),
         )
         self.metrics.register_collector("service", self._collect_metrics)
         #: True once shutdown began: compute requests get 503.
@@ -318,9 +354,9 @@ class PredictionService:
         if not isinstance(store, dict):
             return
         for name in (
-            "writes", "dropped_writes", "io_errors", "corrupt",
-            "schema_stale", "quarantined", "quarantine_failed",
-            "corruption_streak", "max_corruption_streak",
+            "writes", "duplicate_writes", "dropped_writes", "io_errors",
+            "corrupt", "schema_stale", "quarantined", "quarantine_failed",
+            "corruption_streak", "max_corruption_streak", "generation",
         ):
             if name in store:
                 m.gauge(
@@ -353,11 +389,23 @@ class PredictionService:
             self._executor,
             max_workers=self.workers,
         )
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port,
-            limit=_MAX_HEAD,
-        )
+        if self._inherited_sock is not None:
+            # Fleet fallback path: accept on the parent-bound socket.
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._inherited_sock,
+                limit=_MAX_HEAD,
+            )
+        else:
+            kwargs = {}
+            if self.reuse_port:
+                kwargs["reuse_port"] = True
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port,
+                limit=_MAX_HEAD, **kwargs,
+            )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.fleet_state_dir is not None:
+            self._start_heartbeat()
 
     async def stop(self, drain: Optional[bool] = True) -> None:
         """Graceful shutdown: refuse, drain, then close.
@@ -386,9 +434,82 @@ class PredictionService:
         for writer in list(self._connections):
             writer.close()
         await asyncio.sleep(0)
+        if self._heartbeat_stop is not None:
+            self._heartbeat_stop.set()
+            if self._heartbeat_thread is not None:
+                self._heartbeat_thread.join(timeout=2.0)
+            self._heartbeat_thread = None
+            self._heartbeat_stop = None
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
+
+    # -- fleet heartbeats ----------------------------------------------------
+
+    def _heartbeat_path(self) -> Path:
+        return self.fleet_state_dir / f"worker-{self.worker_id}.json"
+
+    def _write_heartbeat(self) -> None:
+        """Atomically publish this worker's liveness + request count."""
+        payload = {
+            "worker_id": self.worker_id,
+            "pid": os.getpid(),
+            "port": self.port,
+            "requests_served": self.requests_served,
+            "draining": self.draining,
+            "ts": time.time(),
+        }
+        path = self._heartbeat_path()
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            self.fleet_state_dir.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+
+    def _start_heartbeat(self) -> None:
+        self._heartbeat_stop = threading.Event()
+
+        def _beat(stop: threading.Event) -> None:
+            while not stop.is_set():
+                self._write_heartbeat()
+                stop.wait(FLEET_HEARTBEAT_S)
+            self._write_heartbeat()  # final beat records the drain
+
+        self._heartbeat_thread = threading.Thread(
+            target=_beat, args=(self._heartbeat_stop,),
+            name=f"repro-heartbeat-{self.worker_id}", daemon=True,
+        )
+        self._heartbeat_thread.start()
+
+    def _fleet_health(self) -> Optional[dict]:
+        """Aggregate view over every worker's heartbeat file."""
+        if self.fleet_state_dir is None:
+            return None
+        now = time.time()
+        workers = []
+        try:
+            paths = sorted(self.fleet_state_dir.glob("worker-*.json"))
+        except OSError:
+            paths = []
+        for path in paths:
+            try:
+                entry = json.loads(path.read_text())
+                age = now - path.stat().st_mtime
+            except (OSError, ValueError):
+                continue
+            entry["heartbeat_age_s"] = round(age, 3)
+            entry["alive"] = age < 3 * FLEET_HEARTBEAT_S
+            workers.append(entry)
+        return {
+            "workers": workers,
+            "alive": sum(1 for w in workers if w["alive"]),
+            "requests_served": sum(
+                int(w.get("requests_served", 0)) for w in workers
+            ),
+        }
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -494,6 +615,7 @@ class PredictionService:
                     status, payload, extra = routed
                     extra = dict(extra)
                     extra.setdefault("X-Request-Id", request_id)
+                    extra.setdefault("X-Worker-Id", str(self.worker_id))
                     route_label = (
                         path if path in _KNOWN_ROUTES
                         else _DEBUG_TRACE_PREFIX
@@ -502,6 +624,9 @@ class PredictionService:
                     )
                     self._m_requests.labels(
                         route=route_label, status=str(status)
+                    ).inc()
+                    self._m_worker_requests.labels(
+                        worker=str(self.worker_id)
                     ).inc()
                     keep = (
                         headers.get("connection", "").lower() != "close"
@@ -736,9 +861,10 @@ class PredictionService:
             "response_failures": int(self._m_response_failures.value()),
             "draining": self.draining,
         }
-        return {
+        out = {
             "status": "draining" if self.draining else "ok",
             "workers": self.workers,
+            "worker_id": self.worker_id,
             "requests_served": self.requests_served,
             "engine": engine_health,
             "coalescer": (
@@ -748,6 +874,10 @@ class PredictionService:
             "admission": admission,
             "error_budget": error_budget(engine_health, admission),
         }
+        fleet = self._fleet_health()
+        if fleet is not None:
+            out["fleet"] = fleet
+        return out
 
 
 def _parse_head(head: bytes) -> Optional[Tuple[str, str, dict]]:
@@ -863,11 +993,12 @@ class BackgroundServer:
         drain_timeout: float = 5.0,
         boot_timeout: float = 30.0,
         join_timeout: float = 10.0,
+        worker_id: int = 0,
     ) -> None:
         self.service = PredictionService(
             engine=engine, host=host, port=port, workers=workers,
             max_queue=max_queue, deadline_ms=deadline_ms,
-            drain_timeout=drain_timeout,
+            drain_timeout=drain_timeout, worker_id=worker_id,
         )
         self.boot_timeout = boot_timeout
         self.join_timeout = join_timeout

@@ -39,10 +39,12 @@ the content-addressed ``"traces"`` store kind persists
 
 from __future__ import annotations
 
+import pickle
+import struct
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -634,14 +636,150 @@ def unpack_trace(payload: dict) -> WorkloadTrace:
     )
 
 
+# -- raw-buffer arena format (mmap-friendly) ---------------------------------
+#
+# The pickled columnar payload above restores cheaply but still copies
+# every column out of the pickle stream on load.  The *arena* layout
+# below is the zero-copy variant the shared store serves to a pre-fork
+# fleet: a pickled metadata header (segment lengths, events, epochs,
+# static keys, column directory) followed by the raw column bytes,
+# 64-byte aligned.  :func:`load_trace_arena` accepts any buffer — in
+# particular an ``mmap.mmap(..., ACCESS_READ)`` — and builds the
+# ``TraceBlock`` views directly over it via ``np.frombuffer``, so N
+# worker processes mapping the same artifact share one page-cache copy
+# and pay no per-process deserialization of the column data.  Arrays
+# built over a read-only map come out ``writeable=False``, which is
+# the aliasing contract: a consumer cannot corrupt the shared mapping.
+
+ARENA_MAGIC = b"RPPMARN1"
+_ARENA_ALIGN = 64
+#: Column name -> dtype, fixed by the wire format (matches TraceBlock).
+_ARENA_COLUMNS = (
+    ("op", np.uint8),
+    ("dep", np.int32),
+    ("addr", np.int64),
+    ("taken", np.uint8),
+    ("iline", np.int64),
+)
+
+
+def _arena_pad(offset: int) -> int:
+    return (-offset) % _ARENA_ALIGN
+
+
+def pack_trace_arena(
+    trace: WorkloadTrace, meta: Optional[Dict[str, Any]] = None
+) -> bytes:
+    """Serialize a trace into the raw-buffer arena layout.
+
+    ``meta`` rides along in the pickled header (the store puts its
+    schema version and content digest there) and comes back verbatim
+    from :func:`load_trace_arena`.
+
+    Layout: ``ARENA_MAGIC | u64 header_len | pickled header | pad |
+    column bytes``.  Column offsets in the header are relative to the
+    64-byte-aligned start of the data region, so the header needs no
+    knowledge of its own serialized size.
+    """
+    chunks: List[bytes] = []
+    rel = 0
+    threads_meta = []
+    for t in trace.threads:
+        blocks = [seg.block for seg in t.segments]
+        cols = {}
+        for name, dtype in _ARENA_COLUMNS:
+            arr = _concat(blocks, name, dtype)
+            pad = _arena_pad(rel)
+            if pad:
+                chunks.append(b"\x00" * pad)
+                rel += pad
+            data = arr.tobytes()
+            cols[name] = (rel, int(arr.size))
+            chunks.append(data)
+            rel += len(data)
+        threads_meta.append({
+            "ns": [b.n_instructions for b in blocks],
+            "events": [seg.event for seg in t.segments],
+            "epochs": [seg.epoch for seg in t.segments],
+            "labels": [seg.label for seg in t.segments],
+            "skeys": [seg.block.static_key for seg in t.segments],
+            "cols": cols,
+        })
+    header = pickle.dumps({
+        "meta": dict(meta or {}),
+        "name": trace.name,
+        "seed": trace.seed,
+        "threads": threads_meta,
+    }, protocol=pickle.HIGHEST_PROTOCOL)
+    prefix = ARENA_MAGIC + struct.pack("<Q", len(header)) + header
+    return b"".join(
+        [prefix, b"\x00" * _arena_pad(len(prefix))] + chunks
+    )
+
+
+def is_arena_payload(buf) -> bool:
+    """True when ``buf`` starts with the arena magic."""
+    return bytes(memoryview(buf)[: len(ARENA_MAGIC)]) == ARENA_MAGIC
+
+
+def load_trace_arena(buf) -> Tuple[Dict[str, Any], WorkloadTrace]:
+    """Rebuild ``(meta, trace)`` from an arena buffer, zero-copy.
+
+    ``buf`` may be ``bytes`` or an ``mmap`` object; every trace column
+    is an ``np.frombuffer`` view over it (read-only when the buffer
+    is), and the returned blocks keep the buffer alive through their
+    ``.base`` chain — the caller may drop its own reference.  Raises
+    ``ValueError`` on a malformed payload; the store maps that to
+    quarantine exactly like a corrupt pickle.
+    """
+    mv = memoryview(buf)
+    if not is_arena_payload(mv):
+        raise ValueError("not an arena payload (bad magic)")
+    header_start = len(ARENA_MAGIC) + 8
+    if len(mv) < header_start:
+        raise ValueError("truncated arena prefix")
+    (header_len,) = struct.unpack_from("<Q", mv, len(ARENA_MAGIC))
+    if header_start + header_len > len(mv):
+        raise ValueError("truncated arena header")
+    header = pickle.loads(bytes(mv[header_start:header_start + header_len]))
+    data_start = header_start + header_len
+    data_start += _arena_pad(data_start)
+    threads = []
+    for tmeta in header["threads"]:
+        t = {
+            key: tmeta[key]
+            for key in ("ns", "events", "epochs", "labels", "skeys")
+        }
+        for name, dtype in _ARENA_COLUMNS:
+            rel, count = tmeta["cols"][name]
+            offset = data_start + rel
+            end = offset + count * np.dtype(dtype).itemsize
+            if end > len(mv):
+                raise ValueError(f"truncated arena column {name!r}")
+            t[name] = np.frombuffer(
+                buf, dtype=dtype, count=count, offset=offset
+            )
+        threads.append(t)
+    payload = {
+        "name": header["name"],
+        "seed": header["seed"],
+        "threads": threads,
+    }
+    return header.get("meta", {}), unpack_trace(payload)
+
+
 __all__ = [
+    "ARENA_MAGIC",
     "ENGINE_STATS",
     "EngineStats",
     "ExpansionEngine",
     "default_engine",
     "expand",
     "expand_many",
+    "is_arena_payload",
+    "load_trace_arena",
     "pack_trace",
+    "pack_trace_arena",
     "static_block_key",
     "unpack_trace",
 ]

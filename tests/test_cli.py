@@ -194,6 +194,7 @@ class TestStoreCommand:
         self._populate(root)
         assert main(["store", "prune", "--kind", "traces"]) == 0
         assert "removed" in capsys.readouterr().out
+        assert not list((root / "traces").glob("*.arena"))
         assert not list((root / "traces").glob("*.pkl"))
 
     def test_prune_dry_run(self, tmp_path, monkeypatch, capsys):
@@ -201,4 +202,4 @@ class TestStoreCommand:
         self._populate(root)
         assert main(["store", "prune", "--all", "--dry-run"]) == 0
         assert "would remove" in capsys.readouterr().out
-        assert list((root / "traces").glob("*.pkl"))
+        assert list((root / "traces").glob("*.arena"))

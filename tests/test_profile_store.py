@@ -248,13 +248,15 @@ class TestTraceKind:
 
     def test_bit_corrupted_trace_is_none(self, store):
         # Loadable pickle, structurally valid trace, corrupted array
-        # content: only the embedded digest can catch this.
+        # content: only the embedded digest can catch this.  Exercises
+        # the legacy pickle-envelope compatibility path (the arena
+        # path's digest check lives in test_fleet_plane.py).
         import pickle
 
         from repro.workloads.engine import expand
         spec = self._spec()
         key = ProfileStore.trace_key(spec)
-        path = store.save_trace(key, expand(spec))
+        path = store.save_trace_pickle(key, expand(spec))
         payload = pickle.loads(path.read_bytes())
         payload["trace"]["threads"][0]["op"][0] ^= 1
         path.write_bytes(pickle.dumps(payload))
@@ -266,7 +268,7 @@ class TestTraceKind:
         from repro.workloads.engine import expand
         spec = self._spec()
         key = ProfileStore.trace_key(spec)
-        path = store.save_trace(key, expand(spec))
+        path = store.save_trace_pickle(key, expand(spec))
         payload = pickle.loads(path.read_bytes())
         payload["schema"] = SCHEMA_VERSION + 1
         path.write_bytes(pickle.dumps(payload))

@@ -567,7 +567,7 @@ class TestConcurrentServing:
                 benchmark="rodinia.nn", scale=SCALE,
                 duration_s=0.4, concurrency=4,
             )
-        assert record["schema"] == 2
+        assert record["schema"] == 3
         assert record["requests"] > 0
         assert record["ok"] == record["requests"]
         assert record["errors"] == 0
@@ -585,12 +585,14 @@ class TestServiceBench:
             check_service, run_service_bench,
         )
         out = tmp_path / "BENCH_service.json"
+        # overload/fleet scenarios are exercised by their own tests
+        # and CI jobs; here only the record shape and error floors.
         record = run_service_bench(
             quick=True, output=str(out), duration_s=0.4,
-            concurrency=4, scale=SCALE, overload=False,
+            concurrency=4, scale=SCALE, overload=False, fleet=False,
         )
         on_disk = json.loads(out.read_text())
-        assert on_disk["schema"] == 2
+        assert on_disk["schema"] == 3
         assert on_disk["mode"] == "quick"
         assert on_disk["warm"]["requests"] == record["warm"]["requests"]
         # Floors are enforced in CI via `repro bench --quick --check`
